@@ -1,0 +1,46 @@
+"""Figure 11 — 7B model, 50 iterations, varying checkpoint frequency.
+
+Three panels: (a) checkpoint throughput, (b) iteration time while
+checkpointing, (c) end-to-end runtime including trailing flushes.  The key
+qualitative effect: because the 7B model's iterations are short, checkpointing
+every iteration outpaces the flushes to the PFS and DataStates' perceived
+throughput collapses at interval 1 — the paper's "Limitations" scenario.
+"""
+
+from repro.analysis import figure11_12_frequency_sweep, format_table, frequency_sweep_rows
+
+INTERVALS = (10, 5, 4, 3, 2, 1)
+
+
+def test_fig11_frequency_sweep_7b(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: figure11_12_frequency_sweep("7B", intervals=INTERVALS, iterations=50),
+        rounds=1, iterations=1,
+    )
+    rows = frequency_sweep_rows("7B", results)
+    for metric, panel in [("throughput", "a"), ("iter_time", "b"), ("end_to_end", "c")]:
+        columns = ["checkpoint_interval"]
+        for engine in ["deepspeed", "async", "torchsnapshot", "datastates"]:
+            columns += [f"{metric}_{engine}", f"paper_{metric}_{engine}"]
+        text = format_table(rows, columns=columns,
+                            title=f"Figure 11({panel}) — 7B {metric} vs checkpoint interval")
+        emit(f"fig11{panel}_7b_{metric}", text)
+
+    by_interval = {row["checkpoint_interval"]: row for row in rows}
+    # (a) DataStates throughput degrades at the highest checkpoint frequency
+    # (flush-bound), yet still beats every baseline by >= 3x.
+    assert by_interval[1]["throughput_datastates"] < 0.5 * by_interval[10]["throughput_datastates"]
+    for interval in INTERVALS:
+        row = by_interval[interval]
+        best_baseline = max(row["throughput_deepspeed"], row["throughput_async"],
+                            row["throughput_torchsnapshot"])
+        # >= 3x away from the flush-bound regime; at interval 1 the collapse
+        # narrows the gap (paper: ~5.8x, our calibration: ~2.8x).
+        floor = 3.0 if interval > 1 else 2.5
+        assert row["throughput_datastates"] >= floor * best_baseline
+    # (b) iteration time: DataStates stays close to the 3.2 s training time.
+    for interval in INTERVALS:
+        assert by_interval[interval]["iter_time_datastates"] < by_interval[interval]["iter_time_deepspeed"]
+    # (c) end-to-end: higher frequency hurts the blocking engines far more.
+    assert by_interval[1]["end_to_end_deepspeed"] > 2.5 * by_interval[10]["end_to_end_deepspeed"]
+    assert by_interval[1]["end_to_end_datastates"] < 0.6 * by_interval[1]["end_to_end_deepspeed"]

@@ -1,0 +1,23 @@
+"""Figure 3 — aggregate checkpoint sizes and per-GPU checkpoint sizes."""
+
+from repro.analysis import figure3_checkpoint_sizes, format_table
+
+
+def test_fig3_checkpoint_sizes(benchmark, emit):
+    rows = benchmark.pedantic(figure3_checkpoint_sizes, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        columns=["model", "num_gpus", "aggregate_checkpoint_gb", "paper_aggregate_gb",
+                 "avg_checkpoint_per_gpu_gb", "max_checkpoint_per_gpu_gb", "load_imbalance"],
+        title="Figure 3 — checkpoint sizes (measured vs paper)",
+    )
+    emit("fig3_checkpoint_sizes", text)
+
+    # Shape checks: sizes grow monotonically with model size and stay within
+    # 25% of the paper's reported aggregates.
+    aggregates = [row["aggregate_checkpoint_gb"] for row in rows]
+    assert aggregates == sorted(aggregates)
+    for row in rows:
+        assert abs(row["aggregate_checkpoint_gb"] - row["paper_aggregate_gb"]) \
+            / row["paper_aggregate_gb"] < 0.25
+        assert 8.0 < row["avg_checkpoint_per_gpu_gb"] < 20.0

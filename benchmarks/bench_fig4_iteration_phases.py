@@ -1,0 +1,26 @@
+"""Figure 4 — forward/backward/update breakdown of a training iteration."""
+
+from repro.analysis import figure4_iteration_phases, format_table, paper_data
+
+
+def test_fig4_iteration_phases(benchmark, emit):
+    table = benchmark.pedantic(figure4_iteration_phases, rounds=1, iterations=1)
+    rows = [
+        {"model": size, **values,
+         "paper_forward_s": paper_data.FIGURE4_PHASES_S[size]["forward"],
+         "paper_backward_s": paper_data.FIGURE4_PHASES_S[size]["backward"],
+         "paper_update_s": paper_data.FIGURE4_PHASES_S[size]["update"]}
+        for size, values in table.items()
+    ]
+    text = format_table(
+        rows,
+        columns=["model", "forward_s", "paper_forward_s", "backward_s", "paper_backward_s",
+                 "update_s", "paper_update_s", "immutable_fraction"],
+        title="Figure 4 — iteration phase breakdown (measured vs paper)",
+    )
+    emit("fig4_iteration_phases", text)
+
+    # Shape check: the model/optimizer state is immutable (fwd+bwd) for the
+    # overwhelming majority of each iteration — the enabler of lazy copies.
+    for row in rows:
+        assert row["immutable_fraction"] > 0.9

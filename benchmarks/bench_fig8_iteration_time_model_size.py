@@ -1,0 +1,38 @@
+"""Figure 8 — average iteration time while checkpointing, vs model size."""
+
+from repro.analysis import (
+    figure7_8_model_size_sweep,
+    figure8_rows,
+    format_table,
+    ordering_matches,
+    paper_data,
+)
+
+
+def test_fig8_iteration_time_vs_model_size(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: figure7_8_model_size_sweep(iterations=5), rounds=1, iterations=1
+    )
+    rows = figure8_rows(results)
+    text = format_table(
+        rows,
+        columns=["model", "deepspeed", "paper_deepspeed", "async", "paper_async",
+                 "torchsnapshot", "paper_torchsnapshot", "datastates", "paper_datastates"],
+        title="Figure 8 — avg iteration time while checkpointing (s), measured vs paper",
+    )
+    emit("fig8_iteration_time_model_size", text)
+
+    for size, by_engine in results.items():
+        measured = {name: result.avg_iteration_seconds_with_checkpoint
+                    for name, result in by_engine.items()}
+        reference = paper_data.FIGURE8_ITERATION_TIME_S[size]
+        # Shape: DataStates has the shortest iteration, as in the paper.
+        assert ordering_matches(measured, reference, higher_is_better=False), size
+        # The paper reports at least 23% faster iterations than any baseline;
+        # accept 10% to absorb calibration noise on the largest model, where
+        # compute dominates and every engine converges.
+        best_baseline = min(value for name, value in measured.items() if name != "datastates")
+        assert best_baseline / measured["datastates"] >= 1.1, size
+        # DataStates iterations stay close to the pure training time.
+        training = by_engine["datastates"].training_iteration_seconds
+        assert measured["datastates"] < 2.5 * training, size

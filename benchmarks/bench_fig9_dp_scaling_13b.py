@@ -1,0 +1,37 @@
+"""Figure 9 — checkpoint throughput of the 13B model vs data-parallel degree."""
+
+from conftest import full_scale
+
+from repro.analysis import dp_sweep_rows, figure9_10_dp_sweep, format_table
+
+
+def test_fig9_dp_scaling_13b(benchmark, emit):
+    dp_degrees = (1, 2, 4, 8, 16) if full_scale() else (1, 2, 4, 8)
+    results = benchmark.pedantic(
+        lambda: figure9_10_dp_sweep("13B", dp_degrees=dp_degrees, iterations=5),
+        rounds=1, iterations=1,
+    )
+    rows = dp_sweep_rows("13B", results)
+    text = format_table(
+        rows,
+        columns=["data_parallel", "num_gpus", "ckpt_per_gpu_gb",
+                 "deepspeed", "paper_deepspeed", "async", "paper_async",
+                 "torchsnapshot", "paper_torchsnapshot", "datastates", "paper_datastates"],
+        title="Figure 9 — 13B checkpoint throughput (GB/s) vs data-parallel degree",
+    )
+    emit("fig9_dp_scaling_13b", text)
+
+    # Shape checks: per-GPU checkpoint size shrinks ~linearly with DP (the
+    # dashed red line of the figure), the blocking baselines scale up with DP,
+    # and DataStates stays on top at every degree.
+    by_dp = {row["data_parallel"]: row for row in rows}
+    degrees = sorted(by_dp)
+    for smaller, larger in zip(degrees, degrees[1:]):
+        ratio = by_dp[smaller]["ckpt_per_gpu_gb"] / by_dp[larger]["ckpt_per_gpu_gb"]
+        assert ratio > 1.5
+    deepspeed_series = [by_dp[dp]["deepspeed"] for dp in degrees]
+    assert deepspeed_series[-1] > deepspeed_series[0] * 2
+    for dp in degrees:
+        row = by_dp[dp]
+        assert row["datastates"] > row["deepspeed"]
+        assert row["datastates"] > row["torchsnapshot"]

@@ -1,0 +1,51 @@
+"""Headline claims of the abstract / §6.4 / conclusions.
+
+"Up to 48x faster checkpointing and 2.2x faster end-to-end training runtime
+compared with the state-of-art checkpointing approaches"; "checkpoints 3x to
+4.2x faster than existing state-of-the-art checkpointing runtimes, which
+achieves a speedup of the end-to-end training by 1.3x to 2.2x".
+"""
+
+from repro.analysis import (
+    figure7_8_model_size_sweep,
+    format_table,
+    headline_speedups,
+    paper_data,
+)
+from repro.training import simulate_run
+
+
+def _collect():
+    sweep = figure7_8_model_size_sweep(iterations=5)
+    # Add the strong-scaling point where the paper observes its 48x maximum
+    # (30B at higher data parallelism, vs synchronous DeepSpeed).
+    sweep["30B-dp4"] = {
+        engine: simulate_run("30B", engine, data_parallel=4, iterations=5, checkpoint_interval=1)
+        for engine in ("deepspeed", "datastates")
+    }
+    return sweep
+
+
+def test_headline_claims(benchmark, emit):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    claims = headline_speedups(results)
+    rows = [
+        {"claim": "checkpoint speedup (min)", "measured": claims["min_checkpoint_speedup"],
+         "paper": paper_data.HEADLINE_CLAIMS["min_checkpoint_speedup_vs_baselines"]},
+        {"claim": "checkpoint speedup (max)", "measured": claims["max_checkpoint_speedup"],
+         "paper": paper_data.HEADLINE_CLAIMS["max_checkpoint_speedup_vs_baselines"]},
+        {"claim": "end-to-end speedup (min)", "measured": claims["min_end_to_end_speedup"],
+         "paper": paper_data.HEADLINE_CLAIMS["min_end_to_end_speedup"]},
+        {"claim": "end-to-end speedup (max)", "measured": claims["max_end_to_end_speedup"],
+         "paper": paper_data.HEADLINE_CLAIMS["max_end_to_end_speedup"]},
+    ]
+    text = format_table(rows, title="Headline claims — DataStates-LLM vs baselines")
+    emit("summary_claims", text)
+
+    # Shape: DataStates is always faster (min speedups > 1), the max
+    # checkpoint speedup is an order of magnitude, and end-to-end gains are
+    # in the 1.2x-3x band the paper reports.
+    assert claims["min_checkpoint_speedup"] >= 2.5
+    assert claims["max_checkpoint_speedup"] >= 15.0
+    assert claims["min_end_to_end_speedup"] >= 1.1
+    assert claims["max_end_to_end_speedup"] >= 1.5

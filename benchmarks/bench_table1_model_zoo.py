@@ -1,0 +1,16 @@
+"""Table 1 — model architectures and 3D-parallel runtime layouts."""
+
+from repro.analysis import format_table, table1_model_zoo
+
+
+def test_table1_model_zoo(benchmark, emit):
+    rows = benchmark.pedantic(table1_model_zoo, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        columns=["model", "layers", "hidden_dim", "attention_heads", "num_nodes",
+                 "tensor_parallel", "pipeline_parallel", "parameters_billion"],
+        title="Table 1 — model and runtime configurations",
+    )
+    emit("table1_model_zoo", text)
+    assert [row["model"] for row in rows] == ["3B", "7B", "13B", "30B", "70B"]
+    assert all(row["tensor_parallel"] == 4 for row in rows)

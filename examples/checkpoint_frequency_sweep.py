@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Checkpoint-frequency sweep (Figures 11 and 12).
+
+Trains the 7B (and optionally 13B) model for 50 simulated iterations while
+varying how many iterations elapse between checkpoints, and reports the three
+metrics of Figures 11/12: perceived checkpoint throughput, iteration time
+while checkpointing, and end-to-end runtime including trailing flushes.
+
+The interesting effect to look for (§6.4): with the 7B model's short
+iterations, checkpointing *every* iteration outpaces the flushes to the
+parallel file system, the host staging buffer fills up, and DataStates'
+throughput drops — whereas the 13B model's longer iterations leave enough
+slack for the flushes to keep up at every frequency.
+
+Run with:  python examples/checkpoint_frequency_sweep.py [7B|13B] [iterations]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import figure11_12_frequency_sweep, frequency_sweep_rows, print_rows
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "7B"
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 50
+    intervals = (10, 5, 4, 3, 2, 1)
+    print(f"sweeping checkpoint interval {list(intervals)} for the {model} model "
+          f"({iterations} iterations per run) ...")
+    results = figure11_12_frequency_sweep(model, intervals=intervals, iterations=iterations)
+    rows = frequency_sweep_rows(model, results)
+
+    for metric, title in [
+        ("throughput", "(a) checkpoint throughput (GB/s)"),
+        ("iter_time", "(b) iteration time while checkpointing (s)"),
+        ("end_to_end", "(c) end-to-end runtime (s)"),
+    ]:
+        columns = ["checkpoint_interval"]
+        for engine in ["deepspeed", "async", "torchsnapshot", "datastates"]:
+            columns.append(f"{metric}_{engine}")
+            columns.append(f"paper_{metric}_{engine}")
+        print()
+        print_rows(rows, columns=columns, title=f"Figure {'11' if model == '7B' else '12'} {title}")
+
+
+if __name__ == "__main__":
+    main()

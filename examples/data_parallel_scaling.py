@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Data-parallel scaling of checkpoint throughput (Figures 9 and 10).
+
+Under ZeRO stage 1 the optimizer state (and, in the default DeepSpeed
+checkpoint layout, the model weights too) is partitioned across data-parallel
+replicas, so each rank writes a smaller shard and the same aggregate
+checkpoint can be flushed through more parallel streams.  This example runs
+the strong-scaling experiment of Figures 9 (13B) and 10 (30B).
+
+Run with:  python examples/data_parallel_scaling.py [13B|30B] [max_dp]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import dp_sweep_rows, figure9_10_dp_sweep, print_rows
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "13B"
+    max_dp = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    dp_degrees = [dp for dp in (1, 2, 4, 8, 16) if dp <= max_dp]
+    print(f"scaling the {model} model across data-parallel degrees {dp_degrees} ...")
+    results = figure9_10_dp_sweep(model, dp_degrees=dp_degrees, iterations=5)
+    rows = dp_sweep_rows(model, results)
+    print()
+    print_rows(
+        rows,
+        columns=["data_parallel", "num_gpus", "ckpt_per_gpu_gb",
+                 "deepspeed", "paper_deepspeed", "async", "paper_async",
+                 "torchsnapshot", "paper_torchsnapshot", "datastates", "paper_datastates"],
+        title=f"Figure {'9' if model == '13B' else '10'} — checkpoint throughput (GB/s) vs DP degree",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Compare the four checkpoint engines on the paper's evaluation workload.
+
+Runs the Figure 7 / Figure 8 experiment (checkpoint every iteration for five
+iterations, data-parallel degree 1) for a subset of the Table 1 models on the
+simulated Polaris platform and prints the measured checkpoint throughput and
+iteration times next to the values the paper reports.
+
+Run with:  python examples/engine_comparison.py [3B 7B 13B ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import (
+    figure7_8_model_size_sweep,
+    figure7_rows,
+    figure8_rows,
+    headline_speedups,
+    print_rows,
+)
+
+
+def main() -> None:
+    sizes = sys.argv[1:] or ["3B", "7B", "13B"]
+    print(f"simulating models {sizes} with all four engines (5 iterations, ckpt every iteration)")
+    results = figure7_8_model_size_sweep(sizes=sizes, iterations=5)
+
+    print()
+    print_rows(
+        figure7_rows(results),
+        columns=["model", "deepspeed", "paper_deepspeed", "async", "paper_async",
+                 "torchsnapshot", "paper_torchsnapshot", "datastates", "paper_datastates"],
+        title="Figure 7 — checkpoint throughput (GB/s), measured vs paper",
+    )
+    print()
+    print_rows(
+        figure8_rows(results),
+        columns=["model", "deepspeed", "paper_deepspeed", "async", "paper_async",
+                 "torchsnapshot", "paper_torchsnapshot", "datastates", "paper_datastates"],
+        title="Figure 8 — avg iteration time while checkpointing (s), measured vs paper",
+    )
+
+    claims = headline_speedups(results)
+    print()
+    print("headline speedups of DataStates-LLM over the baselines "
+          "(paper: 3-48x checkpointing, 1.3-2.2x end-to-end):")
+    for key, value in claims.items():
+        print(f"  {key}: {value:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

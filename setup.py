@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``pip install -e .`` works in offline environments without the
+``wheel`` package (see the note in pyproject.toml); all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Analysis layer: metrics, paper reference data, figure generators, text reports."""
+
+from . import paper_data
+from .figures import (
+    DEFAULT_ENGINES,
+    dp_sweep_rows,
+    figure3_checkpoint_sizes,
+    figure4_iteration_phases,
+    figure7_8_model_size_sweep,
+    figure7_rows,
+    figure8_rows,
+    figure9_10_dp_sweep,
+    figure11_12_frequency_sweep,
+    frequency_sweep_rows,
+    headline_speedups,
+    table1_model_zoo,
+)
+from .metrics import (
+    end_to_end_speedups,
+    geometric_mean,
+    iteration_time_speedups,
+    ordering_matches,
+    relative_error,
+    throughput_speedups,
+)
+from .report import format_comparison, format_table, print_rows
+
+__all__ = [
+    "paper_data",
+    "DEFAULT_ENGINES",
+    "table1_model_zoo",
+    "figure3_checkpoint_sizes",
+    "figure4_iteration_phases",
+    "figure7_8_model_size_sweep",
+    "figure7_rows",
+    "figure8_rows",
+    "figure9_10_dp_sweep",
+    "dp_sweep_rows",
+    "figure11_12_frequency_sweep",
+    "frequency_sweep_rows",
+    "headline_speedups",
+    "throughput_speedups",
+    "iteration_time_speedups",
+    "end_to_end_speedups",
+    "ordering_matches",
+    "geometric_mean",
+    "relative_error",
+    "format_table",
+    "format_comparison",
+    "print_rows",
+]

@@ -1,0 +1,94 @@
+"""The "Asynchronous checkpointing" baseline (CheckFreq / LightCheck /
+PyTorch-Lightning ``AsyncCheckpointIO`` style), Figure 5(b).
+
+Per checkpoint request, and for every shard:
+
+1. allocate (and page-lock) a fresh host buffer — a per-shard cost the
+   engines pays on every checkpoint because nothing is pre-allocated;
+2. copy the shard device-to-host into that (initially pageable) buffer,
+   blocking the training;
+
+and only once the full snapshot exists on the host does it start flushing
+shards to the parallel file system from Python-level background threads.  A
+new checkpoint request that arrives while the previous flush is still running
+blocks until the flush completes.
+
+The flush throughput is additionally penalised versus a pinned streaming
+flush (``flush_bandwidth``) to reflect the GIL-bound, pageable-source writes
+the paper calls out in §5.3.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..cluster import SimCluster
+from ..config import CheckpointPolicy
+from ..parallelism import CheckpointPlan
+from ..simulator import Environment, Event, TraceRecorder
+from ..units import gbps
+from .base import SimCheckpointEngine
+
+#: Effective host-to-PFS throughput of a Python-thread flush from pageable
+#: memory (calibrated; noticeably below the pinned streaming flush).
+DEFAULT_ASYNC_FLUSH_BANDWIDTH = gbps(1.3)
+
+
+class AsynchronousEngine(SimCheckpointEngine):
+    """Two-phase snapshot-then-flush checkpointing with per-shard allocation."""
+
+    name = "async-checkfreq"
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: SimCluster,
+        plan: CheckpointPlan,
+        policy: CheckpointPolicy,
+        trace: Optional[TraceRecorder] = None,
+        flush_bandwidth: float = DEFAULT_ASYNC_FLUSH_BANDWIDTH,
+    ) -> None:
+        super().__init__(env, cluster, plan, policy, trace)
+        self.flush_bandwidth = flush_bandwidth
+
+    def on_checkpoint(self, rank: int, iteration: int) -> Generator:
+        """Blocking snapshot of every shard, then background flush."""
+        state = self.ranks[rank]
+        state.checkpoints_started += 1
+
+        # A new request must wait for the previous checkpoint's flushes.
+        pending = [event for event in state.outstanding_flushes if not event.triggered]
+        if pending:
+            yield self.env.all_of(pending)
+        state.outstanding_flushes = [e for e in state.outstanding_flushes if not e.triggered]
+
+        # Phase 1: per-shard host allocation + pinning + device-to-host copy.
+        for shard in state.plan.shards:
+            alloc_cost = (
+                self.platform.host_alloc_latency
+                + shard.nbytes * self.platform.host_alloc_pin_seconds_per_byte
+            )
+            yield self.env.timeout(alloc_cost)
+            copy_start = self.env.now
+            yield state.gpu.pcie.d2h(shard.nbytes, pinned=False, tag=f"rank{rank}-snapshot")
+            self._record(rank, "d2h", copy_start, self.env.now, shard.name)
+
+        # Phase 2: background flush of the whole snapshot, shard after shard.
+        done = self.env.event()
+        state.outstanding_flushes.append(done)
+        self.env.process(
+            self._flush_sequence(rank, list(state.plan.shards), done),
+            name=f"async-flush-r{rank}-i{iteration}",
+        )
+
+    def _flush_sequence(self, rank: int, shards: List, done: Event) -> Generator:
+        for shard in shards:
+            start = self.env.now
+            yield self.cluster.pfs.write(
+                shard.nbytes,
+                stream_bandwidth=self.flush_bandwidth,
+                new_file=True,
+                tag=f"rank{rank}-flush",
+            )
+            self._record(rank, "flush", start, self.env.now, shard.name)
+        done.succeed()

@@ -1,0 +1,84 @@
+"""Engine registry and factory.
+
+Engines are selected by name (mirroring the ``checkpoint_engine`` attribute
+of a DeepSpeed configuration file, §5.2).  The four canonical names map to
+the approaches compared in §6.2 of the paper; aliases are accepted for
+convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from ..cluster import SimCluster
+from ..config import CheckpointPolicy
+from ..exceptions import ConfigurationError
+from ..parallelism import CheckpointPlan
+from ..simulator import Environment, TraceRecorder
+from .async_engine import AsynchronousEngine
+from .base import SimCheckpointEngine
+from .datastates_engine import DataStatesEngine
+from .sync_engine import SynchronousEngine
+from .torchsnapshot_engine import TorchSnapshotEngine
+
+#: Canonical engine names, in the order the paper's figures list them.
+ENGINE_NAMES: List[str] = ["deepspeed", "async", "torchsnapshot", "datastates"]
+
+_REGISTRY: Dict[str, Type[SimCheckpointEngine]] = {
+    "deepspeed": SynchronousEngine,
+    "deepspeed-sync": SynchronousEngine,
+    "sync": SynchronousEngine,
+    "async": AsynchronousEngine,
+    "async-checkfreq": AsynchronousEngine,
+    "checkfreq": AsynchronousEngine,
+    "torchsnapshot": TorchSnapshotEngine,
+    "datastates": DataStatesEngine,
+    "datastates-llm": DataStatesEngine,
+}
+
+#: Display labels used in figure/report output.
+ENGINE_LABELS: Dict[str, str] = {
+    "deepspeed": "DeepSpeed (sync)",
+    "async": "Async. ckpt (CheckFreq-like)",
+    "torchsnapshot": "TorchSnapshot",
+    "datastates": "DataStates-LLM",
+}
+
+
+def available_engines() -> List[str]:
+    """The canonical engine names."""
+    return list(ENGINE_NAMES)
+
+
+def resolve_engine_class(name: str) -> Type[SimCheckpointEngine]:
+    """Look up an engine class by (possibly aliased) name."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown checkpoint engine {name!r}; known engines: {sorted(set(_REGISTRY))}"
+        )
+    return _REGISTRY[key]
+
+
+def create_engine(
+    name: str,
+    env: Environment,
+    cluster: SimCluster,
+    plan: CheckpointPlan,
+    policy: CheckpointPolicy,
+    trace: Optional[TraceRecorder] = None,
+    **engine_kwargs,
+) -> SimCheckpointEngine:
+    """Instantiate an engine by name."""
+    engine_class = resolve_engine_class(name)
+    return engine_class(env, cluster, plan, policy, trace, **engine_kwargs)
+
+
+def register_engine(name: str, engine_class: Type[SimCheckpointEngine]) -> None:
+    """Register a custom engine implementation under a new name."""
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("engine name must be non-empty")
+    if not issubclass(engine_class, SimCheckpointEngine):
+        raise ConfigurationError("engine_class must derive from SimCheckpointEngine")
+    _REGISTRY[key] = engine_class

@@ -1,0 +1,53 @@
+"""The DeepSpeed default synchronous checkpoint engine (baseline).
+
+This is the ``torch.save()``-based approach of Figure 5(a): the training loop
+stops, every shard is serialized on the CPU and written to the parallel file
+system, and only then does training resume.  The effective per-stream
+throughput is limited by the single-threaded serialization + pageable staging
+path (``PlatformSpec.sync_serialize_bandwidth``), which is what keeps the
+observed checkpoint throughput in the single-digit GB/s range that the paper
+(and Nebula/TRANSOM/Gemini, §3.2) report.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simulator.sync import consensus_latency
+from .base import SimCheckpointEngine
+
+
+class SynchronousEngine(SimCheckpointEngine):
+    """Blocking ``torch.save``-style checkpointing (DeepSpeed default)."""
+
+    name = "deepspeed-sync"
+
+    def on_checkpoint(self, rank: int, iteration: int) -> Generator:
+        """Serialize and write every shard before returning control to training."""
+        state = self.ranks[rank]
+        state.checkpoints_started += 1
+        for shard in state.plan.shards:
+            start = self.env.now
+            yield self.cluster.pfs.write(
+                shard.nbytes,
+                stream_bandwidth=self.platform.sync_serialize_bandwidth,
+                new_file=True,
+                tag=f"rank{rank}-sync",
+            )
+            self._record(rank, "flush", start, self.env.now, shard.name)
+        # Synchronous validation that all shards of all ranks are persistent:
+        # a blocking two-phase commit before training may continue.
+        commit_start = self.env.now
+        yield self.env.timeout(
+            consensus_latency(
+                self.plan.topology.world_size,
+                self.platform.gpus_per_node,
+                self.platform.network_latency,
+            )
+        )
+        self._record(rank, "commit", commit_start, self.env.now, f"iter{iteration}")
+
+    def finalize(self, rank: int) -> Generator:
+        """Nothing outstanding: every write already completed synchronously."""
+        return
+        yield  # pragma: no cover - keeps this a generator

@@ -1,0 +1,113 @@
+"""Command-line interface: ``python -m repro.cli`` (or the ``repro-bench`` script).
+
+Subcommands
+-----------
+``simulate``   run one simulated training configuration and print its metrics
+``figure``     regenerate one of the paper's figures (3, 4, 7, 8, 9, 10, 11, 12)
+``zoo``        print the Table 1 model zoo
+
+These are thin wrappers over :mod:`repro.training.runtime` and
+:mod:`repro.analysis.figures`, useful for quick exploration without writing a
+script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    dp_sweep_rows,
+    figure3_checkpoint_sizes,
+    figure4_iteration_phases,
+    figure7_8_model_size_sweep,
+    figure7_rows,
+    figure8_rows,
+    figure9_10_dp_sweep,
+    figure11_12_frequency_sweep,
+    format_table,
+    frequency_sweep_rows,
+    table1_model_zoo,
+)
+from .checkpoint import ENGINE_NAMES
+from .model import MODEL_SIZES
+from .training import simulate_run
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="simulate one training run")
+    simulate.add_argument("--model", choices=MODEL_SIZES, default="13B")
+    simulate.add_argument("--engine", choices=ENGINE_NAMES, default="datastates")
+    simulate.add_argument("--iterations", type=int, default=5)
+    simulate.add_argument("--checkpoint-interval", type=int, default=1)
+    simulate.add_argument("--data-parallel", type=int, default=1)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("number", choices=["3", "4", "7", "8", "9", "10", "11", "12"])
+    figure.add_argument("--iterations", type=int, default=None,
+                        help="override the iteration count (smaller = faster)")
+
+    sub.add_parser("zoo", help="print the Table 1 model zoo")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    result = simulate_run(
+        args.model, args.engine,
+        data_parallel=args.data_parallel,
+        iterations=args.iterations,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    print(format_table([result.summary()], title="Simulated run"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    number = args.number
+    if number == "3":
+        print(format_table(figure3_checkpoint_sizes(), title="Figure 3"))
+    elif number == "4":
+        rows = [{"model": size, **values} for size, values in figure4_iteration_phases().items()]
+        print(format_table(rows, title="Figure 4"))
+    elif number in ("7", "8"):
+        iterations = args.iterations or 5
+        results = figure7_8_model_size_sweep(iterations=iterations)
+        rows = figure7_rows(results) if number == "7" else figure8_rows(results)
+        print(format_table(rows, title=f"Figure {number}"))
+    elif number in ("9", "10"):
+        model = "13B" if number == "9" else "30B"
+        iterations = args.iterations or 5
+        results = figure9_10_dp_sweep(model, dp_degrees=(1, 2, 4, 8), iterations=iterations)
+        print(format_table(dp_sweep_rows(model, results), title=f"Figure {number}"))
+    else:
+        model = "7B" if number == "11" else "13B"
+        iterations = args.iterations or 50
+        results = figure11_12_frequency_sweep(model, iterations=iterations)
+        print(format_table(frequency_sweep_rows(model, results), title=f"Figure {number}"))
+    return 0
+
+
+def _cmd_zoo(_args: argparse.Namespace) -> int:
+    print(format_table(table1_model_zoo(), title="Table 1 — model zoo"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "zoo":
+        return _cmd_zoo(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

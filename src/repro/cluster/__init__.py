@@ -1,0 +1,5 @@
+"""Simulated cluster topology (nodes, GPUs, interconnects, shared PFS)."""
+
+from .topology import SimCluster, SimGPU, SimNode, build_cluster, cluster_for_gpus
+
+__all__ = ["SimCluster", "SimNode", "SimGPU", "build_cluster", "cluster_for_gpus"]

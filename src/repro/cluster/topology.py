@@ -1,0 +1,123 @@
+"""Simulated cluster topology (Polaris-like).
+
+Builds the hardware objects the training runtime and checkpoint engines use:
+per-GPU PCIe paths, per-node NVLink fabric, NIC and node-local NVMe, and the
+shared parallel file system.  Global rank numbering is node-major:
+``rank = node_id * gpus_per_node + local_gpu``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..config import PlatformSpec
+from ..exceptions import ConfigurationError
+from ..interconnect import NetworkLink, NVLinkFabric, PCIeLink, make_nic, make_nvlink, make_pcie_link
+from ..io import SimNodeLocalStorage, SimParallelFileSystem, make_node_local_storage, make_parallel_fs
+from ..simulator import Environment
+
+
+@dataclass
+class SimGPU:
+    """One GPU and its host-facing PCIe path."""
+
+    global_rank: int
+    node_id: int
+    local_index: int
+    pcie: PCIeLink
+
+
+@dataclass
+class SimNode:
+    """One compute node: GPUs, NVLink fabric, NIC, node-local NVMe."""
+
+    node_id: int
+    gpus: List[SimGPU]
+    nvlink: NVLinkFabric
+    nic: NetworkLink
+    nvme: SimNodeLocalStorage
+    host_memory: int
+
+
+@dataclass
+class SimCluster:
+    """A set of nodes sharing one parallel file system."""
+
+    env: Environment
+    platform: PlatformSpec
+    nodes: List[SimNode]
+    pfs: SimParallelFileSystem
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of compute nodes."""
+        return len(self.nodes)
+
+    @property
+    def num_gpus(self) -> int:
+        """Total GPU count across nodes."""
+        return sum(len(node.gpus) for node in self.nodes)
+
+    @property
+    def gpus(self) -> List[SimGPU]:
+        """All GPUs in global-rank order."""
+        result: List[SimGPU] = []
+        for node in self.nodes:
+            result.extend(node.gpus)
+        result.sort(key=lambda g: g.global_rank)
+        return result
+
+    def gpu(self, global_rank: int) -> SimGPU:
+        """Look up a GPU by global rank."""
+        gpus_per_node = self.platform.gpus_per_node
+        node_id, local = divmod(global_rank, gpus_per_node)
+        if node_id >= len(self.nodes) or local >= len(self.nodes[node_id].gpus):
+            raise ConfigurationError(f"global rank {global_rank} is outside the cluster")
+        return self.nodes[node_id].gpus[local]
+
+    def node_of(self, global_rank: int) -> SimNode:
+        """The node hosting a given global rank."""
+        node_id = global_rank // self.platform.gpus_per_node
+        if node_id >= len(self.nodes):
+            raise ConfigurationError(f"global rank {global_rank} is outside the cluster")
+        return self.nodes[node_id]
+
+
+def build_cluster(env: Environment, platform: PlatformSpec, num_nodes: int) -> SimCluster:
+    """Instantiate a cluster of ``num_nodes`` nodes of the given platform."""
+    if num_nodes <= 0:
+        raise ConfigurationError("num_nodes must be positive")
+    pfs = make_parallel_fs(env, platform)
+    nodes: List[SimNode] = []
+    for node_id in range(num_nodes):
+        gpus: List[SimGPU] = []
+        for local in range(platform.gpus_per_node):
+            global_rank = node_id * platform.gpus_per_node + local
+            gpus.append(
+                SimGPU(
+                    global_rank=global_rank,
+                    node_id=node_id,
+                    local_index=local,
+                    pcie=make_pcie_link(env, platform, global_rank),
+                )
+            )
+        nodes.append(
+            SimNode(
+                node_id=node_id,
+                gpus=gpus,
+                nvlink=make_nvlink(env, platform, node_id),
+                nic=make_nic(env, platform, node_id),
+                nvme=make_node_local_storage(env, platform, node_id),
+                host_memory=platform.host_memory,
+            )
+        )
+    return SimCluster(env=env, platform=platform, nodes=nodes, pfs=pfs)
+
+
+def cluster_for_gpus(env: Environment, platform: PlatformSpec, num_gpus: int) -> SimCluster:
+    """Build the smallest cluster providing at least ``num_gpus`` GPUs."""
+    if num_gpus <= 0:
+        raise ConfigurationError("num_gpus must be positive")
+    num_nodes = -(-num_gpus // platform.gpus_per_node)
+    return build_cluster(env, platform, num_nodes)

@@ -1,0 +1,19 @@
+"""DataStates-LLM real-mode checkpoint engine (the paper's primary contribution)."""
+
+from .consolidation import TwoPhaseCommitCoordinator
+from .engine import CheckpointHandle, DataStatesCheckpointEngine, SynchronousCheckpointEngine
+from .flush_pipeline import FlushPipeline, FlushResult, ShardFlushJob
+from .lazy_snapshot import CopyStream, SnapshotJob, StagedTensor
+
+__all__ = [
+    "DataStatesCheckpointEngine",
+    "SynchronousCheckpointEngine",
+    "CheckpointHandle",
+    "TwoPhaseCommitCoordinator",
+    "FlushPipeline",
+    "FlushResult",
+    "ShardFlushJob",
+    "CopyStream",
+    "SnapshotJob",
+    "StagedTensor",
+]

@@ -1,0 +1,163 @@
+"""Streaming flush pipeline — host staging buffer to persistent storage.
+
+Consumes the :class:`~repro.core.lazy_snapshot.SnapshotJob` staging queue and
+writes the shard file incrementally: the preamble (header + skeleton) goes
+out immediately, and each tensor's bytes are written as soon as its
+device-to-host copy lands in the pinned pool — flushing therefore overlaps
+both the remaining copies and the training computation (streamlined
+multi-level flushing, §5.1).  Pinned-pool space is released tensor by tensor
+as it is consumed, which is what lets the circular buffer admit the next
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from ..exceptions import CheckpointError
+from ..io import FileStore, FlushTask, FlushWorkerPool
+from ..logging_utils import get_logger
+from ..memory import PinnedHostPool
+from ..serialization import ShardRecord, encode_preamble
+from .lazy_snapshot import SnapshotJob, StagedTensor
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class FlushResult:
+    """Outcome of flushing one shard."""
+
+    tag: str
+    shard_name: str
+    nbytes: int
+    checksum: int
+    record: ShardRecord
+
+
+class ShardFlushJob:
+    """Tracks one shard flush from submission to durability."""
+
+    def __init__(self, snapshot: SnapshotJob, rank: int) -> None:
+        self.snapshot = snapshot
+        self.rank = rank
+        self.done = threading.Event()
+        self.result: Optional[FlushResult] = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self, timeout: Optional[float] = None) -> FlushResult:
+        """Block until the shard is durably written; re-raise failures."""
+        if not self.done.wait(timeout=timeout):
+            raise CheckpointError(
+                f"timed out waiting for flush of {self.snapshot.tag}/{self.snapshot.shard_name}"
+            )
+        if self.error is not None:
+            raise CheckpointError(
+                f"flush of {self.snapshot.tag}/{self.snapshot.shard_name} failed: {self.error}"
+            ) from self.error
+        assert self.result is not None
+        return self.result
+
+
+class FlushPipeline:
+    """Background writer of snapshot jobs to a :class:`FileStore`."""
+
+    def __init__(
+        self,
+        store: FileStore,
+        pool: PinnedHostPool,
+        rank: int = 0,
+        flush_threads: int = 1,
+        chunk_size: int = 8 * 1024 * 1024,
+    ) -> None:
+        if chunk_size <= 0:
+            raise CheckpointError("chunk_size must be positive")
+        self.store = store
+        self.pool = pool
+        self.rank = rank
+        self.chunk_size = chunk_size
+        self.workers = FlushWorkerPool(num_workers=flush_threads, name=f"flush-r{rank}")
+        self._jobs: List[ShardFlushJob] = []
+        self._lock = threading.Lock()
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, snapshot: SnapshotJob,
+               on_durable: Optional[Callable[[FlushResult], None]] = None) -> ShardFlushJob:
+        """Queue a snapshot's shard for background writing."""
+        job = ShardFlushJob(snapshot, self.rank)
+        with self._lock:
+            self._jobs.append(job)
+
+        def run() -> None:
+            job.result = self._write_shard(snapshot)
+
+        def on_done(error: Optional[BaseException]) -> None:
+            job.error = error
+            job.done.set()
+            if error is None and on_durable is not None and job.result is not None:
+                try:
+                    on_durable(job.result)
+                except Exception as exc:  # noqa: BLE001 - consolidation errors surface later
+                    job.error = exc
+                    logger.error("post-flush callback failed for %s: %s", snapshot.shard_name, exc)
+
+        self.workers.submit(FlushTask(run=run, on_done=on_done,
+                                      description=f"{snapshot.tag}/{snapshot.shard_name}"))
+        return job
+
+    # -- synchronisation ---------------------------------------------------------
+    def drain(self) -> None:
+        """Wait for every submitted flush to finish."""
+        self.workers.drain()
+
+    def pending_jobs(self) -> List[ShardFlushJob]:
+        """Flush jobs not yet known to be durable."""
+        with self._lock:
+            return [job for job in self._jobs if not job.done.is_set()]
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the flush workers."""
+        self.workers.shutdown(wait=wait)
+
+    # -- the actual write ----------------------------------------------------------
+    def _write_shard(self, snapshot: SnapshotJob) -> FlushResult:
+        checksum = 0
+        nbytes = 0
+
+        def chunks() -> Iterator[bytes]:
+            nonlocal checksum, nbytes
+            preamble = encode_preamble(snapshot.header, snapshot.skeleton)
+            # Whole-file CRC32, accumulated incrementally chunk by chunk so it
+            # can be re-verified by hashing the file once at restart time.
+            checksum = zlib.crc32(preamble) & 0xFFFFFFFF
+            nbytes += len(preamble)
+            yield preamble
+            while True:
+                staged = snapshot.staged.get()
+                if staged is None:
+                    break
+                view = staged.allocation.view
+                total = staged.entry.nbytes
+                for start in range(0, total, self.chunk_size):
+                    stop = min(start + self.chunk_size, total)
+                    piece = bytes(view[start:stop])
+                    checksum = zlib.crc32(piece, checksum) & 0xFFFFFFFF
+                    nbytes += len(piece)
+                    yield piece
+                # The last chunk of this tensor has been handed to the writer;
+                # its staging space can be recycled for the next copies.
+                self.pool.free(staged.allocation)
+            capture_error = snapshot.capture_error()
+            if capture_error is not None:
+                raise CheckpointError(
+                    f"snapshot capture failed mid-flush: {capture_error}"
+                ) from capture_error
+
+        receipt = self.store.write_shard(snapshot.tag, snapshot.shard_name, chunks())
+        record = ShardRecord(rank=self.rank, name=snapshot.shard_name,
+                             nbytes=receipt.nbytes, checksum=checksum)
+        return FlushResult(tag=snapshot.tag, shard_name=snapshot.shard_name,
+                           nbytes=receipt.nbytes, checksum=checksum, record=record)

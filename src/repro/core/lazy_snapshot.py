@@ -1,0 +1,153 @@
+"""Lazy snapshot capture — the real-mode device-to-host copy pipeline.
+
+One :class:`SnapshotJob` represents a single checkpoint request of one rank:
+its header has already been computed synchronously; the tensor payloads are
+copied into pinned-pool slices by a dedicated copy thread while the training
+thread keeps running (the "lazy non-blocking copies" of §5.1).  Copied slices
+are handed to the flush pipeline through a FIFO queue, so flushing can start
+before the last tensor has been captured (streamlined flushing).
+
+The training loop calls :meth:`SnapshotJob.wait_captured` right before it
+mutates the model/optimizer state (the update phase) — that is the only
+point where the copies must have finished for consistency.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CheckpointError
+from ..logging_utils import get_logger
+from ..memory import HostAllocation, PinnedHostPool
+from ..serialization import ShardHeader, TensorEntry
+from ..tensor import TensorRef, tensor_payload_array
+
+logger = get_logger(__name__)
+
+#: Sentinel placed on the staging queue when the last tensor has been copied.
+_END_OF_SNAPSHOT = None
+
+
+@dataclass
+class StagedTensor:
+    """One tensor payload sitting in the pinned staging pool, ready to flush."""
+
+    entry: TensorEntry
+    allocation: HostAllocation
+
+
+class SnapshotJob:
+    """The capture half of one checkpoint request."""
+
+    def __init__(self, tag: str, shard_name: str, header: ShardHeader,
+                 skeleton: bytes, tensors: Sequence[TensorRef]) -> None:
+        self.tag = tag
+        self.shard_name = shard_name
+        self.header = header
+        self.skeleton = skeleton
+        self.tensors = list(tensors)
+        self.staged: "queue.Queue[Optional[StagedTensor]]" = queue.Queue()
+        self._captured = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    # -- producer side (copy thread) --------------------------------------------
+    def capture(self, pool: PinnedHostPool) -> None:
+        """Copy every tensor into the pinned pool, oldest first (runs off-thread)."""
+        try:
+            for ref, entry in zip(self.tensors, self.header.entries):
+                allocation = pool.allocate(entry.nbytes, blocking=True)
+                array = np.ascontiguousarray(tensor_payload_array(ref))
+                raw = array.view(np.uint8).reshape(-1)
+                target = np.frombuffer(allocation.view, dtype=np.uint8, count=raw.nbytes)
+                np.copyto(target, raw)
+                self.staged.put(StagedTensor(entry=entry, allocation=allocation))
+        except BaseException as exc:  # noqa: BLE001 - surfaced to waiters
+            self._error = exc
+            logger.error("snapshot capture of %s/%s failed: %s", self.tag, self.shard_name, exc)
+        finally:
+            self.staged.put(_END_OF_SNAPSHOT)
+            self._captured.set()
+
+    # -- consumer side (training thread / flush worker) -----------------------------
+    @property
+    def captured(self) -> bool:
+        """True once every tensor has been copied off the device."""
+        return self._captured.is_set()
+
+    def wait_captured(self, timeout: Optional[float] = None) -> bool:
+        """Block until the device-to-host copies finish; re-raise capture errors."""
+        finished = self._captured.wait(timeout=timeout)
+        if finished and self._error is not None:
+            raise CheckpointError(
+                f"snapshot of {self.tag}/{self.shard_name} failed: {self._error}"
+            ) from self._error
+        return finished
+
+    def capture_error(self) -> Optional[BaseException]:
+        """The capture failure, if any."""
+        return self._error
+
+    @property
+    def total_payload_bytes(self) -> int:
+        """Bytes this snapshot stages in the pinned pool."""
+        return sum(entry.nbytes for entry in self.header.entries)
+
+
+class CopyStream:
+    """A dedicated background thread that executes snapshot captures in order.
+
+    The real engine uses a CUDA stream plus the GPU copy engine; here a
+    single worker thread plays that role.  Captures are strictly FIFO so the
+    circular-buffer reclamation order matches allocation order.
+    """
+
+    def __init__(self, pool: PinnedHostPool, name: str = "d2h-copy") -> None:
+        self.pool = pool
+        self._queue: "queue.Queue[Optional[SnapshotJob]]" = queue.Queue()
+        self._pending: List[SnapshotJob] = []
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._thread.start()
+        self._closed = False
+
+    def submit(self, job: SnapshotJob) -> None:
+        """Enqueue a snapshot capture."""
+        if self._closed:
+            raise CheckpointError("copy stream is shut down")
+        with self._lock:
+            self._pending.append(job)
+        self._queue.put(job)
+
+    def wait_idle(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted capture has finished (the engine's
+        ``wait_for_snapshot`` primitive)."""
+        with self._lock:
+            pending = list(self._pending)
+        for job in pending:
+            if not job.wait_captured(timeout=timeout):
+                raise CheckpointError(
+                    f"timed out waiting for snapshot {job.tag}/{job.shard_name}"
+                )
+
+    def shutdown(self) -> None:
+        """Stop the worker after draining queued captures."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join(timeout=10.0)
+
+    def _loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.capture(self.pool)
+            with self._lock:
+                if job in self._pending:
+                    self._pending.remove(job)

@@ -1,0 +1,12 @@
+"""Interconnect (PCIe / NVLink / NIC) bandwidth models for the simulator."""
+
+from .links import NetworkLink, NVLinkFabric, PCIeLink, make_nic, make_nvlink, make_pcie_link
+
+__all__ = [
+    "PCIeLink",
+    "NVLinkFabric",
+    "NetworkLink",
+    "make_pcie_link",
+    "make_nvlink",
+    "make_nic",
+]

@@ -1,0 +1,21 @@
+"""Storage backends: simulated NVMe/Lustre models and the real file store."""
+
+from .filestore import FileStore, WriteReceipt
+from .flush_workers import FlushTask, FlushWorkerPool
+from .sim_storage import (
+    SimNodeLocalStorage,
+    SimParallelFileSystem,
+    make_node_local_storage,
+    make_parallel_fs,
+)
+
+__all__ = [
+    "FileStore",
+    "WriteReceipt",
+    "FlushTask",
+    "FlushWorkerPool",
+    "SimParallelFileSystem",
+    "SimNodeLocalStorage",
+    "make_parallel_fs",
+    "make_node_local_storage",
+]

@@ -1,0 +1,167 @@
+"""Circular buffer manager for the pre-allocated pinned host staging area.
+
+The paper describes the host buffer as "managed through a simple lightweight
+circular buffer manager, considering the producer-consumer pattern" (§5.3):
+device-to-host copies *produce* contiguous regions at the head of the ring,
+and flushes to persistent storage *consume* them from the tail, after which
+the space becomes reusable.
+
+The manager here is byte-granular, allocation-order aware, and intentionally
+not thread safe — thread safety is added by the
+:class:`~repro.memory.pinned_pool.PinnedHostPool` wrapper so the core logic
+stays easy to property-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import AllocationError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous reservation inside the ring: ``[offset, offset + size)``."""
+
+    ticket: int
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the segment."""
+        return self.offset + self.size
+
+
+class CircularBufferManager:
+    """A FIFO ring allocator over a fixed-size region.
+
+    Allocations are carved at the write head; frees mark segments as retired
+    but space is only reclaimed in allocation (FIFO) order, which matches the
+    producer-consumer flow of checkpoint staging: shards are copied in order
+    and flushed in order.  Allocations never wrap around the end of the
+    region — if the tail gap is too small the allocation is placed at offset
+    zero (provided that space is free), exactly like a ring used for DMA
+    staging, so every segment stays contiguous.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise AllocationError("circular buffer capacity must be positive")
+        self.capacity = int(capacity)
+        self._segments: List[Segment] = []          # live + retired, FIFO order
+        self._retired: Dict[int, bool] = {}          # ticket -> retired flag
+        self._next_ticket = 0
+        self._head = 0                               # next write offset
+        self._used = 0
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently reserved (live or retired-but-not-yet-reclaimed)."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes available for new allocations (fragmentation ignored)."""
+        return self.capacity - self._used
+
+    @property
+    def live_segments(self) -> int:
+        """Number of segments that have not been freed yet."""
+        return sum(1 for seg in self._segments if not self._retired[seg.ticket])
+
+    def would_fit(self, size: int) -> bool:
+        """Check whether :meth:`allocate` of ``size`` bytes would succeed now."""
+        if size <= 0 or size > self.capacity:
+            return False
+        return self._contiguous_allocation_offset(size) is not None
+
+    # -- allocation -----------------------------------------------------------
+    def allocate(self, size: int) -> Segment:
+        """Reserve ``size`` contiguous bytes at the ring head.
+
+        Raises :class:`AllocationError` when the request cannot be satisfied
+        (caller decides whether to wait for flushes to retire segments).
+        """
+        if size <= 0:
+            raise AllocationError("allocation size must be positive")
+        if size > self.capacity:
+            raise AllocationError(
+                f"allocation of {size} bytes exceeds buffer capacity {self.capacity}"
+            )
+        offset = self._contiguous_allocation_offset(size)
+        if offset is None:
+            raise AllocationError(
+                f"circular buffer full: requested {size} bytes, "
+                f"{self.free_bytes} free (fragmented)"
+            )
+        segment = Segment(ticket=self._next_ticket, offset=offset, size=size)
+        self._next_ticket += 1
+        self._segments.append(segment)
+        self._retired[segment.ticket] = False
+        self._head = (offset + size) % self.capacity if (offset + size) != self.capacity else 0
+        self._used += size
+        return segment
+
+    def free(self, segment: Segment) -> None:
+        """Mark a segment as no longer needed.
+
+        Space is reclaimed lazily, oldest-first, so out-of-order frees are
+        accepted but only become reusable once every older segment has also
+        been freed.
+        """
+        if segment.ticket not in self._retired:
+            raise AllocationError(f"segment {segment.ticket} is not managed by this buffer")
+        if self._retired[segment.ticket]:
+            raise AllocationError(f"segment {segment.ticket} freed twice")
+        self._retired[segment.ticket] = True
+        self._reclaim()
+
+    def reset(self) -> None:
+        """Drop every reservation (used between runs)."""
+        self._segments.clear()
+        self._retired.clear()
+        self._head = 0
+        self._used = 0
+
+    # -- internals -------------------------------------------------------------
+    def _reclaim(self) -> None:
+        while self._segments and self._retired[self._segments[0].ticket]:
+            segment = self._segments.pop(0)
+            del self._retired[segment.ticket]
+            self._used -= segment.size
+        if not self._segments:
+            self._head = 0
+
+    def _live_intervals(self) -> List[Tuple[int, int]]:
+        """Sorted occupied intervals ``[start, end)`` of all reserved segments."""
+        intervals = sorted((seg.offset, seg.end) for seg in self._segments)
+        return intervals
+
+    def _contiguous_allocation_offset(self, size: int) -> Optional[int]:
+        """Find where a new segment of ``size`` bytes would be placed, or None."""
+        if not self._segments:
+            return 0 if size <= self.capacity else None
+        intervals = self._live_intervals()
+        # Candidate 1: at the current head up to the next occupied byte / end.
+        head = self._head
+        next_occupied_after_head = self.capacity
+        blocked = False
+        for start, end in intervals:
+            if start <= head < end:
+                blocked = True
+                break
+            if start >= head:
+                next_occupied_after_head = min(next_occupied_after_head, start)
+        if not blocked and next_occupied_after_head - head >= size:
+            return head
+        # Candidate 2: wrap to offset zero, up to the first occupied byte.
+        first_start = intervals[0][0]
+        if first_start >= size and head != 0:
+            # Only valid if offset 0 is not inside an occupied interval.
+            inside = any(start <= 0 < end for start, end in intervals)
+            if not inside:
+                return 0
+        return None

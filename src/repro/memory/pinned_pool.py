@@ -1,0 +1,126 @@
+"""Thread-safe pre-allocated pinned host staging pool.
+
+In the original C++ engine the host staging buffer is allocated and
+page-locked (``cudaHostRegister``) once at startup and reused for every
+checkpoint, which removes the per-checkpoint allocation/pinning cost that
+cripples the CheckFreq-style baseline.  Here the "pinned" buffer is a single
+NumPy byte array allocated up front; allocations hand out ``memoryview``
+slices of it managed by the FIFO ring allocator.
+
+Threads that cannot be satisfied immediately block on a condition variable
+until flushes retire older segments — this is exactly the back-pressure
+behaviour described in §5.1 ("if the host memory that is reserved for
+checkpointing is full, then the next checkpoint request needs to wait for
+previous tensors to get evicted").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import AllocationError
+from .circular_buffer import CircularBufferManager, Segment
+
+
+@dataclass
+class HostAllocation:
+    """A slice of the pinned pool handed to a producer (D2H copy)."""
+
+    segment: Segment
+    view: memoryview
+
+    @property
+    def size(self) -> int:
+        """Size of the allocation in bytes."""
+        return self.segment.size
+
+    @property
+    def offset(self) -> int:
+        """Offset of the allocation inside the pool."""
+        return self.segment.offset
+
+
+class PinnedHostPool:
+    """A fixed-capacity, reusable host staging buffer."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise AllocationError("pinned pool capacity must be positive")
+        self.capacity = int(capacity)
+        # One contiguous backing buffer, allocated once ("pre-pinned").
+        self._backing = np.zeros(self.capacity, dtype=np.uint8)
+        self._manager = CircularBufferManager(self.capacity)
+        self._lock = threading.Lock()
+        self._space_freed = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently reserved."""
+        with self._lock:
+            return self._manager.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently available."""
+        with self._lock:
+            return self._manager.free_bytes
+
+    def view(self, offset: int, size: int) -> memoryview:
+        """Raw view into the backing buffer (used by flush workers)."""
+        if offset < 0 or offset + size > self.capacity:
+            raise AllocationError(f"view [{offset}, {offset + size}) outside pool")
+        return memoryview(self._backing)[offset : offset + size]
+
+    # -- allocation -----------------------------------------------------------
+    def allocate(self, size: int, blocking: bool = True, timeout: Optional[float] = None) -> HostAllocation:
+        """Reserve ``size`` bytes.
+
+        With ``blocking=True`` the call waits for flushes to release space
+        (bounded by ``timeout`` seconds if given); otherwise it raises
+        :class:`AllocationError` immediately when the pool is full.
+        """
+        if size > self.capacity:
+            raise AllocationError(
+                f"allocation of {size} bytes can never fit pool of {self.capacity} bytes"
+            )
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise AllocationError("pinned pool is closed")
+                try:
+                    segment = self._manager.allocate(size)
+                    break
+                except AllocationError:
+                    if not blocking:
+                        raise
+                    if not self._space_freed.wait(timeout=timeout):
+                        raise AllocationError(
+                            f"timed out waiting for {size} bytes of pinned host memory"
+                        )
+            view = memoryview(self._backing)[segment.offset : segment.offset + size]
+            return HostAllocation(segment=segment, view=view)
+
+    def free(self, allocation: HostAllocation) -> None:
+        """Return an allocation to the pool and wake any blocked producers."""
+        with self._lock:
+            self._manager.free(allocation.segment)
+            self._space_freed.notify_all()
+
+    def close(self) -> None:
+        """Fail all future allocations (used during shutdown)."""
+        with self._lock:
+            self._closed = True
+            self._space_freed.notify_all()
+
+    def reset(self) -> None:
+        """Drop all reservations (between runs / tests)."""
+        with self._lock:
+            self._manager.reset()
+            self._closed = False
+            self._space_freed.notify_all()

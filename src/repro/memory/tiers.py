@@ -1,0 +1,108 @@
+"""Memory/storage tier descriptors.
+
+The paper's multi-level checkpointing path is GPU HBM -> pinned host memory
+-> node-local NVMe and/or the parallel file system.  :class:`TierSpec`
+captures the properties of one tier that the checkpoint engines and the
+simulator care about; :class:`TierKind` names the levels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import PlatformSpec
+from ..exceptions import ConfigurationError
+
+
+class TierKind(enum.Enum):
+    """The storage levels of the multi-level checkpoint hierarchy."""
+
+    GPU_HBM = "gpu_hbm"
+    HOST_PINNED = "host_pinned"
+    HOST_PAGEABLE = "host_pageable"
+    NODE_LOCAL_NVME = "node_local_nvme"
+    PARALLEL_FS = "parallel_fs"
+
+    @property
+    def is_persistent(self) -> bool:
+        """True for tiers that survive a node crash."""
+        return self in (TierKind.NODE_LOCAL_NVME, TierKind.PARALLEL_FS)
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Capacity and bandwidth of one memory/storage tier."""
+
+    kind: TierKind
+    capacity: int
+    write_bandwidth: float
+    read_bandwidth: float
+    #: Fixed latency per access (file open/metadata for storage tiers).
+    access_latency: float = 0.0
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(f"{self.kind}: capacity must be positive")
+        if self.write_bandwidth <= 0 or self.read_bandwidth <= 0:
+            raise ConfigurationError(f"{self.kind}: bandwidths must be positive")
+        if self.access_latency < 0:
+            raise ConfigurationError(f"{self.kind}: latency must be >= 0")
+
+
+def default_hierarchy(platform: PlatformSpec, host_buffer_size: int) -> Dict[TierKind, TierSpec]:
+    """The per-rank tier hierarchy for a given platform.
+
+    ``host_buffer_size`` is the portion of host memory reserved for pinned
+    checkpoint staging (the engine's only configuration knob, §5.2).
+    """
+    if host_buffer_size <= 0:
+        raise ConfigurationError("host_buffer_size must be positive")
+    return {
+        TierKind.GPU_HBM: TierSpec(
+            kind=TierKind.GPU_HBM,
+            capacity=platform.gpu_memory,
+            write_bandwidth=platform.d2d_bandwidth,
+            read_bandwidth=platform.d2d_bandwidth,
+        ),
+        TierKind.HOST_PINNED: TierSpec(
+            kind=TierKind.HOST_PINNED,
+            capacity=host_buffer_size,
+            write_bandwidth=platform.d2h_pinned_bandwidth,
+            read_bandwidth=platform.d2h_pinned_bandwidth,
+        ),
+        TierKind.HOST_PAGEABLE: TierSpec(
+            kind=TierKind.HOST_PAGEABLE,
+            capacity=platform.host_memory,
+            write_bandwidth=platform.d2h_pageable_bandwidth,
+            read_bandwidth=platform.d2h_pageable_bandwidth,
+        ),
+        TierKind.NODE_LOCAL_NVME: TierSpec(
+            kind=TierKind.NODE_LOCAL_NVME,
+            capacity=int(1.6e12),
+            write_bandwidth=platform.nvme_write_bandwidth,
+            read_bandwidth=platform.nvme_write_bandwidth,
+            access_latency=1e-4,
+        ),
+        TierKind.PARALLEL_FS: TierSpec(
+            kind=TierKind.PARALLEL_FS,
+            capacity=int(1e15),
+            write_bandwidth=platform.pfs_per_stream_bandwidth,
+            read_bandwidth=platform.pfs_per_stream_bandwidth,
+            access_latency=platform.pfs_file_latency,
+            shared=True,
+        ),
+    }
+
+
+def flush_order(hierarchy: Dict[TierKind, TierSpec]) -> List[TierKind]:
+    """The order in which checkpoint data moves down the hierarchy."""
+    order = [
+        TierKind.GPU_HBM,
+        TierKind.HOST_PINNED,
+        TierKind.NODE_LOCAL_NVME,
+        TierKind.PARALLEL_FS,
+    ]
+    return [kind for kind in order if kind in hierarchy]

@@ -1,0 +1,128 @@
+"""Transformer model accounting: parameters, state sizes, checkpoint sizes.
+
+The checkpointing study only needs *sizes*, not values: how many parameters
+a GPT-style decoder of a given depth/width has, how those bytes split into
+model parameters vs optimizer state, and how they are distributed across
+layers (Figure 3, §4.1).  The accounting follows the standard GPT/LLaMA
+decoder layout used by Megatron-LM:
+
+* token embedding ``vocab x hidden`` (tied with the output projection),
+* position embedding ``seq_len x hidden``,
+* per layer: QKV projection ``3 h^2``, attention output ``h^2``, MLP
+  ``2 * h * ffn_hidden``, two LayerNorms, biases,
+* a final LayerNorm.
+
+Checkpoint bytes per parameter follow DeepSpeed ZeRO stage-1 mixed-precision
+training: 2 bytes of bf16/fp16 model weights (replicated per DP rank but
+checkpointed once per model-parallel shard) plus 12 bytes of optimizer state
+(fp32 master weights, momentum and variance) partitioned across data-parallel
+ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..exceptions import ConfigurationError
+
+#: Bytes per parameter of bf16/fp16 model weights.
+MODEL_BYTES_PER_PARAM = 2
+#: Bytes per parameter of Adam optimizer state under mixed precision
+#: (fp32 master copy + fp32 momentum + fp32 variance).
+OPTIMIZER_BYTES_PER_PARAM = 12
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyper-parameters of a decoder-only transformer."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_attention_heads: int
+    vocab_size: int = 50_304
+    sequence_length: int = 2048
+    ffn_multiplier: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.hidden_size <= 0 or self.num_attention_heads <= 0:
+            raise ConfigurationError("layers, hidden size, and heads must be positive")
+        if self.hidden_size % self.num_attention_heads != 0:
+            raise ConfigurationError(
+                f"hidden size {self.hidden_size} not divisible by "
+                f"{self.num_attention_heads} attention heads"
+            )
+        if self.vocab_size <= 0 or self.sequence_length <= 0:
+            raise ConfigurationError("vocab size and sequence length must be positive")
+
+    # -- parameter counts ---------------------------------------------------
+    @property
+    def ffn_hidden_size(self) -> int:
+        """Width of the MLP hidden layer."""
+        return self.ffn_multiplier * self.hidden_size
+
+    def embedding_parameters(self) -> int:
+        """Token + position embedding parameters."""
+        return self.vocab_size * self.hidden_size + self.sequence_length * self.hidden_size
+
+    def layer_parameters(self) -> int:
+        """Parameters of one transformer layer (attention + MLP + norms)."""
+        h = self.hidden_size
+        ffn = self.ffn_hidden_size
+        attention = 3 * h * h + 3 * h + h * h + h     # QKV + out projection (+bias)
+        mlp = h * ffn + ffn + ffn * h + h             # two linear layers (+bias)
+        norms = 4 * h                                  # two LayerNorms (gain+bias)
+        return attention + mlp + norms
+
+    def final_norm_parameters(self) -> int:
+        """Parameters of the final LayerNorm."""
+        return 2 * self.hidden_size
+
+    def total_parameters(self) -> int:
+        """Total trainable parameters."""
+        return (
+            self.embedding_parameters()
+            + self.num_layers * self.layer_parameters()
+            + self.final_norm_parameters()
+        )
+
+    # -- state sizes ----------------------------------------------------------
+    def model_state_bytes(self) -> int:
+        """Bytes of bf16/fp16 model weights."""
+        return self.total_parameters() * MODEL_BYTES_PER_PARAM
+
+    def optimizer_state_bytes(self) -> int:
+        """Bytes of fp32 Adam optimizer state (master weights, m, v)."""
+        return self.total_parameters() * OPTIMIZER_BYTES_PER_PARAM
+
+    def checkpoint_bytes(self) -> int:
+        """Total checkpoint size: model weights + optimizer state."""
+        return self.model_state_bytes() + self.optimizer_state_bytes()
+
+    def layer_parameter_counts(self) -> List[int]:
+        """Per-"layer group" parameter counts used for pipeline partitioning.
+
+        Index 0 holds the embeddings, indices 1..num_layers hold transformer
+        layers, and the final entry holds the output LayerNorm, matching how
+        Megatron assigns embedding/head layers to the first/last pipeline
+        stage.
+        """
+        counts = [self.embedding_parameters()]
+        counts.extend(self.layer_parameters() for _ in range(self.num_layers))
+        counts.append(self.final_norm_parameters())
+        return counts
+
+    def describe(self) -> Dict[str, float]:
+        """A summary dict used by reports and benchmarks."""
+        params = self.total_parameters()
+        return {
+            "name": self.name,
+            "layers": self.num_layers,
+            "hidden_size": self.hidden_size,
+            "attention_heads": self.num_attention_heads,
+            "parameters_billion": params / 1e9,
+            "model_state_gb": self.model_state_bytes() / 1e9,
+            "optimizer_state_gb": self.optimizer_state_bytes() / 1e9,
+            "checkpoint_gb": self.checkpoint_bytes() / 1e9,
+        }

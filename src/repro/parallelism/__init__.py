@@ -1,0 +1,44 @@
+"""3D parallelism: rank topology, pipeline partitioning, ZeRO-1 sharding, shard plans."""
+
+from .partition import balanced_contiguous_partition, partition_imbalance, stage_parameter_counts
+from .shards import (
+    CheckpointPlan,
+    CheckpointShard,
+    RankCheckpointPlan,
+    ShardKind,
+    build_checkpoint_plan,
+    checkpoint_size_summary,
+)
+from .topology3d import ParallelTopology, RankCoordinate
+from .zero import (
+    FlatSlice,
+    ZeroPartition,
+    flatten_parameters,
+    gather_flat_buffer,
+    partition_bytes,
+    partition_elements,
+    shard_flat_buffer,
+    unflatten_parameters,
+)
+
+__all__ = [
+    "ParallelTopology",
+    "RankCoordinate",
+    "balanced_contiguous_partition",
+    "stage_parameter_counts",
+    "partition_imbalance",
+    "ZeroPartition",
+    "partition_elements",
+    "partition_bytes",
+    "FlatSlice",
+    "flatten_parameters",
+    "unflatten_parameters",
+    "shard_flat_buffer",
+    "gather_flat_buffer",
+    "CheckpointShard",
+    "RankCheckpointPlan",
+    "CheckpointPlan",
+    "ShardKind",
+    "build_checkpoint_plan",
+    "checkpoint_size_summary",
+]

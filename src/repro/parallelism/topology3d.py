@@ -1,0 +1,108 @@
+"""3D-parallel rank topology (data x pipeline x tensor).
+
+Maps global ranks to (data, pipeline, tensor) coordinates and back, and
+enumerates the communication groups each rank belongs to.  The ordering
+follows the Megatron/DeepSpeed convention used by the paper's setup: tensor
+parallelism varies fastest (so a TP group always sits inside one node and can
+use NVLink), then pipeline stages, then data-parallel replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..exceptions import ShardingError
+
+
+@dataclass(frozen=True)
+class RankCoordinate:
+    """Position of one rank in the 3D parallel grid."""
+
+    data: int
+    pipeline: int
+    tensor: int
+
+
+class ParallelTopology:
+    """The (DP, PP, TP) grid and its rank numbering."""
+
+    def __init__(self, data_parallel: int, pipeline_parallel: int, tensor_parallel: int) -> None:
+        if data_parallel <= 0 or pipeline_parallel <= 0 or tensor_parallel <= 0:
+            raise ShardingError("all parallelism degrees must be positive")
+        self.data_parallel = data_parallel
+        self.pipeline_parallel = pipeline_parallel
+        self.tensor_parallel = tensor_parallel
+
+    # -- sizes ----------------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        """Total number of ranks."""
+        return self.data_parallel * self.pipeline_parallel * self.tensor_parallel
+
+    @property
+    def ranks_per_replica(self) -> int:
+        """Ranks used by one model replica (PP x TP)."""
+        return self.pipeline_parallel * self.tensor_parallel
+
+    # -- mapping ------------------------------------------------------------------
+    def coordinate(self, global_rank: int) -> RankCoordinate:
+        """Decompose a global rank into its (data, pipeline, tensor) coordinate."""
+        if not (0 <= global_rank < self.world_size):
+            raise ShardingError(f"rank {global_rank} outside world of size {self.world_size}")
+        tensor = global_rank % self.tensor_parallel
+        pipeline = (global_rank // self.tensor_parallel) % self.pipeline_parallel
+        data = global_rank // (self.tensor_parallel * self.pipeline_parallel)
+        return RankCoordinate(data=data, pipeline=pipeline, tensor=tensor)
+
+    def global_rank(self, coord: RankCoordinate) -> int:
+        """Compose a global rank from a coordinate."""
+        if not (0 <= coord.data < self.data_parallel):
+            raise ShardingError(f"data coordinate {coord.data} out of range")
+        if not (0 <= coord.pipeline < self.pipeline_parallel):
+            raise ShardingError(f"pipeline coordinate {coord.pipeline} out of range")
+        if not (0 <= coord.tensor < self.tensor_parallel):
+            raise ShardingError(f"tensor coordinate {coord.tensor} out of range")
+        return (
+            coord.data * self.pipeline_parallel * self.tensor_parallel
+            + coord.pipeline * self.tensor_parallel
+            + coord.tensor
+        )
+
+    def all_coordinates(self) -> List[RankCoordinate]:
+        """Coordinates of every rank in global-rank order."""
+        return [self.coordinate(rank) for rank in range(self.world_size)]
+
+    # -- groups ----------------------------------------------------------------------
+    def tensor_group(self, global_rank: int) -> List[int]:
+        """Ranks sharing this rank's tensor-parallel group (same DP and PP index)."""
+        coord = self.coordinate(global_rank)
+        return [
+            self.global_rank(RankCoordinate(coord.data, coord.pipeline, t))
+            for t in range(self.tensor_parallel)
+        ]
+
+    def pipeline_group(self, global_rank: int) -> List[int]:
+        """Ranks forming this rank's pipeline (same DP and TP index)."""
+        coord = self.coordinate(global_rank)
+        return [
+            self.global_rank(RankCoordinate(coord.data, p, coord.tensor))
+            for p in range(self.pipeline_parallel)
+        ]
+
+    def data_group(self, global_rank: int) -> List[int]:
+        """Ranks holding the same model shard across data-parallel replicas."""
+        coord = self.coordinate(global_rank)
+        return [
+            self.global_rank(RankCoordinate(d, coord.pipeline, coord.tensor))
+            for d in range(self.data_parallel)
+        ]
+
+    def describe(self) -> Dict[str, int]:
+        """Summary used by reports."""
+        return {
+            "data_parallel": self.data_parallel,
+            "pipeline_parallel": self.pipeline_parallel,
+            "tensor_parallel": self.tensor_parallel,
+            "world_size": self.world_size,
+        }

@@ -1,0 +1,5 @@
+"""Checkpoint discovery, validation, and restore."""
+
+from .loader import CheckpointInfo, CheckpointLoader
+
+__all__ = ["CheckpointLoader", "CheckpointInfo"]

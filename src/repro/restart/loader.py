@@ -1,0 +1,147 @@
+"""Restart path: discovering, validating, and loading committed checkpoints.
+
+Only checkpoints with a published manifest are restorable; anything else is a
+torn checkpoint left behind by a crash mid-flush and is ignored (or can be
+garbage-collected with :meth:`CheckpointLoader.prune_uncommitted`).  Shard
+files are validated against the manifest's size and CRC32 before their
+contents are handed back to the trainer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..exceptions import ConsistencyError, RestartError
+from ..io import FileStore
+from ..logging_utils import get_logger
+from ..serialization import CheckpointManifest, checksum_bytes, deserialize_state
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Summary of one committed checkpoint."""
+
+    tag: str
+    iteration: int
+    world_size: int
+    total_bytes: int
+    num_shards: int
+
+
+class CheckpointLoader:
+    """Reads committed checkpoints back from a :class:`FileStore`."""
+
+    def __init__(self, store: FileStore, verify_checksums: bool = True) -> None:
+        self.store = store
+        self.verify_checksums = verify_checksums
+
+    # -- discovery ---------------------------------------------------------
+    def committed_checkpoints(self) -> List[CheckpointInfo]:
+        """All committed checkpoints, oldest first."""
+        infos: List[CheckpointInfo] = []
+        for tag in self.store.list_committed_checkpoints():
+            manifest = self.manifest(tag)
+            infos.append(
+                CheckpointInfo(
+                    tag=tag,
+                    iteration=manifest.iteration,
+                    world_size=manifest.world_size,
+                    total_bytes=manifest.total_bytes,
+                    num_shards=len(manifest.shards),
+                )
+            )
+        infos.sort(key=lambda info: (info.iteration, info.tag))
+        return infos
+
+    def latest(self) -> Optional[CheckpointInfo]:
+        """The most recent committed checkpoint (by iteration, then tag)."""
+        infos = self.committed_checkpoints()
+        return infos[-1] if infos else None
+
+    def manifest(self, tag: str) -> CheckpointManifest:
+        """Parsed manifest of one committed checkpoint."""
+        try:
+            return CheckpointManifest.from_json(self.store.read_manifest(tag))
+        except Exception as exc:
+            raise RestartError(f"cannot read manifest of checkpoint {tag!r}: {exc}") from exc
+
+    # -- validation ---------------------------------------------------------------
+    def validate(self, tag: str) -> CheckpointManifest:
+        """Check that every shard listed in the manifest is present and intact."""
+        manifest = self.manifest(tag)
+        manifest.validate_complete()
+        for record in manifest.shards:
+            raw = self.store.read_shard(tag, record.name)
+            if len(raw) != record.nbytes:
+                raise ConsistencyError(
+                    f"shard {record.name!r} of {tag!r} has {len(raw)} bytes, "
+                    f"manifest says {record.nbytes}"
+                )
+            if self.verify_checksums and record.checksum is not None:
+                actual = checksum_bytes(raw)
+                if actual != record.checksum:
+                    raise ConsistencyError(
+                        f"shard {record.name!r} of {tag!r} failed its checksum"
+                    )
+        return manifest
+
+    # -- loading ----------------------------------------------------------------------
+    def load_rank(self, tag: str, rank: int) -> Any:
+        """Load the state of one rank (single-shard-per-rank layout)."""
+        manifest = self.manifest(tag)
+        records = manifest.shards_of_rank(rank)
+        if not records:
+            raise RestartError(f"checkpoint {tag!r} holds no shards for rank {rank}")
+        if len(records) == 1:
+            return self._load_shard(tag, records[0])
+        return {record.name: self._load_shard(tag, record) for record in records}
+
+    def load_all(self, tag: str, validate: bool = True) -> Dict[int, Any]:
+        """Load the state of every rank; optionally validate first."""
+        manifest = self.validate(tag) if validate else self.manifest(tag)
+        result: Dict[int, Any] = {}
+        for rank in sorted({record.rank for record in manifest.shards}):
+            result[rank] = self.load_rank(tag, rank)
+        return result
+
+    def _load_shard(self, tag: str, record) -> Any:
+        raw = self.store.read_shard(tag, record.name)
+        if len(raw) != record.nbytes:
+            raise ConsistencyError(
+                f"shard {record.name!r} of {tag!r} is truncated "
+                f"({len(raw)} of {record.nbytes} bytes)"
+            )
+        if self.verify_checksums and record.checksum is not None:
+            if checksum_bytes(raw) != record.checksum:
+                raise ConsistencyError(f"shard {record.name!r} of {tag!r} failed its checksum")
+        try:
+            return deserialize_state(raw)
+        except Exception as exc:
+            raise RestartError(f"cannot deserialize shard {record.name!r} of {tag!r}: {exc}") from exc
+
+    # -- housekeeping --------------------------------------------------------------------
+    def prune_uncommitted(self) -> List[str]:
+        """Delete torn (manifest-less) checkpoint directories; returns the tags removed."""
+        committed = set(self.store.list_committed_checkpoints())
+        removed = []
+        for tag in self.store.list_checkpoints():
+            if tag not in committed:
+                self.store.delete_checkpoint(tag)
+                removed.append(tag)
+                logger.info("pruned uncommitted checkpoint %s", tag)
+        return removed
+
+    def keep_latest(self, count: int) -> List[str]:
+        """Delete all but the newest ``count`` committed checkpoints."""
+        if count < 0:
+            raise RestartError("count must be >= 0")
+        infos = self.committed_checkpoints()
+        to_remove = infos[:-count] if count else infos
+        removed = []
+        for info in to_remove:
+            self.store.delete_checkpoint(info.tag)
+            removed.append(info.tag)
+        return removed

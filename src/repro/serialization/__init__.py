@@ -1,0 +1,32 @@
+"""Checkpoint shard serialization: headers/offsets, streaming writer, reader, manifests."""
+
+from .header import (
+    MAGIC,
+    ShardHeader,
+    TensorEntry,
+    build_header,
+    decode_preamble,
+    encode_preamble,
+    preamble_size,
+)
+from .manifest import CheckpointManifest, ShardRecord, checksum_bytes
+from .reader import deserialize_state, peek_tensor_keys
+from .writer import iter_shard_chunks, serialize_object, serialize_state
+
+__all__ = [
+    "MAGIC",
+    "TensorEntry",
+    "ShardHeader",
+    "build_header",
+    "encode_preamble",
+    "decode_preamble",
+    "preamble_size",
+    "serialize_state",
+    "iter_shard_chunks",
+    "serialize_object",
+    "deserialize_state",
+    "peek_tensor_keys",
+    "CheckpointManifest",
+    "ShardRecord",
+    "checksum_bytes",
+]

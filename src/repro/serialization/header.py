@@ -1,0 +1,150 @@
+"""Shard file layout and header construction (phase 2 of §5.3).
+
+A shard file produced by the real-mode engine has the layout::
+
+    +--------------------+  offset 0
+    | magic  (8 bytes)   |
+    | header length (u64)|
+    | header JSON        |   tensor table: key, dtype, shape, offset, nbytes
+    | skeleton length u64|
+    | skeleton pickle    |   the state dict with tensors replaced by indices
+    | tensor payload 0   |   raw little-endian buffers, contiguous
+    | tensor payload 1   |
+    | ...                |
+    +--------------------+
+
+Offsets in the tensor table are relative to the start of the payload region,
+so the header can be computed *before* any payload is copied — exactly what
+lets the engine enqueue device-to-host transfers and file writes for all
+tensors up front ("create a header by computing the file offsets for each
+tensor/object marked for asynchronous transfer").
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SerializationError
+from ..tensor import FlattenedState, TensorRef
+
+MAGIC = b"DSLLMCK1"
+_U64 = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class TensorEntry:
+    """One row of the shard header's tensor table."""
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+    nbytes: int
+
+    def to_json(self) -> Dict:
+        """JSON-serialisable form."""
+        return {
+            "key": self.key,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+        }
+
+    @staticmethod
+    def from_json(data: Dict) -> "TensorEntry":
+        """Inverse of :meth:`to_json`."""
+        return TensorEntry(
+            key=str(data["key"]),
+            dtype=str(data["dtype"]),
+            shape=tuple(int(x) for x in data["shape"]),
+            offset=int(data["offset"]),
+            nbytes=int(data["nbytes"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardHeader:
+    """Header of one shard file."""
+
+    entries: Tuple[TensorEntry, ...]
+    payload_bytes: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize the header table to JSON bytes."""
+        payload = {
+            "version": 1,
+            "payload_bytes": self.payload_bytes,
+            "tensors": [entry.to_json() for entry in self.entries],
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @staticmethod
+    def from_bytes(raw: bytes) -> "ShardHeader":
+        """Parse a header table from JSON bytes."""
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"corrupt shard header: {exc}") from exc
+        entries = tuple(TensorEntry.from_json(item) for item in data.get("tensors", []))
+        return ShardHeader(entries=entries, payload_bytes=int(data.get("payload_bytes", 0)))
+
+
+def build_header(flattened: FlattenedState) -> ShardHeader:
+    """Compute payload offsets for every tensor of a flattened state dict."""
+    entries: List[TensorEntry] = []
+    offset = 0
+    for ref in flattened.tensors:
+        entries.append(
+            TensorEntry(
+                key=ref.key or f"tensor_{len(entries)}",
+                dtype=ref.dtype,
+                shape=ref.shape,
+                offset=offset,
+                nbytes=ref.nbytes,
+            )
+        )
+        offset += ref.nbytes
+    return ShardHeader(entries=tuple(entries), payload_bytes=offset)
+
+
+def encode_preamble(header: ShardHeader, skeleton: bytes) -> bytes:
+    """Magic + lengths + header JSON + skeleton, i.e. everything before payloads."""
+    header_bytes = header.to_bytes()
+    return b"".join(
+        [MAGIC, _U64.pack(len(header_bytes)), header_bytes, _U64.pack(len(skeleton)), skeleton]
+    )
+
+
+def decode_preamble(raw: bytes) -> Tuple[ShardHeader, bytes, int]:
+    """Parse the preamble; returns (header, skeleton bytes, payload start offset)."""
+    if len(raw) < len(MAGIC) + _U64.size:
+        raise SerializationError("shard file too small to contain a header")
+    if raw[: len(MAGIC)] != MAGIC:
+        raise SerializationError("bad magic: not a DataStates shard file")
+    cursor = len(MAGIC)
+    (header_len,) = _U64.unpack_from(raw, cursor)
+    cursor += _U64.size
+    if cursor + header_len > len(raw):
+        raise SerializationError("truncated shard header")
+    header = ShardHeader.from_bytes(raw[cursor : cursor + header_len])
+    cursor += header_len
+    if cursor + _U64.size > len(raw):
+        raise SerializationError("truncated shard skeleton length")
+    (skeleton_len,) = _U64.unpack_from(raw, cursor)
+    cursor += _U64.size
+    if cursor + skeleton_len > len(raw):
+        raise SerializationError("truncated shard skeleton")
+    skeleton = raw[cursor : cursor + skeleton_len]
+    cursor += skeleton_len
+    return header, skeleton, cursor
+
+
+def preamble_size(header: ShardHeader, skeleton: bytes) -> int:
+    """Size in bytes of the preamble produced by :func:`encode_preamble`."""
+    return len(MAGIC) + 2 * _U64.size + len(header.to_bytes()) + len(skeleton)

@@ -1,0 +1,103 @@
+"""Checkpoint manifests — the commit record of the consolidation protocol.
+
+A checkpoint directory is only considered valid once a manifest exists.  The
+manifest is written exactly once, after every rank has voted that all of its
+shards are durably persisted (two-phase commit, §5.1), and lists every shard
+with its size and checksum so the restart path can detect truncation or
+corruption.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import ConsistencyError
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One shard's entry in the manifest."""
+
+    rank: int
+    name: str
+    nbytes: int
+    checksum: Optional[int] = None
+
+    def to_json(self) -> Dict:
+        """JSON-serialisable form."""
+        return {"rank": self.rank, "name": self.name, "nbytes": self.nbytes, "checksum": self.checksum}
+
+    @staticmethod
+    def from_json(data: Dict) -> "ShardRecord":
+        """Inverse of :meth:`to_json`."""
+        return ShardRecord(
+            rank=int(data["rank"]),
+            name=str(data["name"]),
+            nbytes=int(data["nbytes"]),
+            checksum=None if data.get("checksum") is None else int(data["checksum"]),
+        )
+
+
+@dataclass
+class CheckpointManifest:
+    """The global commit record of one checkpoint."""
+
+    tag: str
+    world_size: int
+    iteration: int
+    shards: List[ShardRecord] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def add_shard(self, record: ShardRecord) -> None:
+        """Register one persisted shard."""
+        self.shards.append(record)
+
+    def shards_of_rank(self, rank: int) -> List[ShardRecord]:
+        """Shards contributed by one rank."""
+        return [record for record in self.shards if record.rank == rank]
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate checkpoint size recorded in the manifest."""
+        return sum(record.nbytes for record in self.shards)
+
+    def validate_complete(self) -> None:
+        """Check that every rank contributed at least one shard."""
+        ranks_present = {record.rank for record in self.shards}
+        expected = set(range(self.world_size))
+        missing = expected - ranks_present
+        if missing:
+            raise ConsistencyError(
+                f"checkpoint {self.tag!r} is incomplete: missing shards from ranks {sorted(missing)}"
+            )
+
+    def to_json(self) -> Dict:
+        """JSON-serialisable form written to ``manifest.json``."""
+        return {
+            "tag": self.tag,
+            "world_size": self.world_size,
+            "iteration": self.iteration,
+            "total_bytes": self.total_bytes,
+            "shards": [record.to_json() for record in self.shards],
+            "extra": dict(self.extra),
+        }
+
+    @staticmethod
+    def from_json(data: Dict) -> "CheckpointManifest":
+        """Inverse of :meth:`to_json`."""
+        manifest = CheckpointManifest(
+            tag=str(data["tag"]),
+            world_size=int(data["world_size"]),
+            iteration=int(data.get("iteration", -1)),
+            extra=dict(data.get("extra", {})),
+        )
+        for item in data.get("shards", []):
+            manifest.add_shard(ShardRecord.from_json(item))
+        return manifest
+
+
+def checksum_bytes(payload: bytes) -> int:
+    """CRC32 checksum used in shard records (cheap, catches truncation/corruption)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF

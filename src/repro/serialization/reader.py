@@ -1,0 +1,43 @@
+"""Shard deserialization (restart path)."""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, List
+
+import numpy as np
+
+from ..exceptions import SerializationError
+from ..tensor import unflatten_state_dict
+from .header import decode_preamble
+
+
+def deserialize_state(raw: bytes) -> Any:
+    """Rebuild the original nested state dict from shard-file bytes."""
+    header, skeleton_bytes, payload_start = decode_preamble(raw)
+    expected_end = payload_start + header.payload_bytes
+    if len(raw) < expected_end:
+        raise SerializationError(
+            f"shard file truncated: expected {expected_end} bytes, got {len(raw)}"
+        )
+    try:
+        skeleton = pickle.loads(skeleton_bytes)
+    except Exception as exc:
+        raise SerializationError(f"cannot unpickle shard skeleton: {exc}") from exc
+
+    arrays: List[np.ndarray] = []
+    for entry in header.entries:
+        start = payload_start + entry.offset
+        stop = start + entry.nbytes
+        buffer = raw[start:stop]
+        if len(buffer) != entry.nbytes:
+            raise SerializationError(f"payload for {entry.key!r} is truncated")
+        array = np.frombuffer(buffer, dtype=np.dtype(entry.dtype)).reshape(entry.shape).copy()
+        arrays.append(array)
+    return unflatten_state_dict(skeleton, arrays)
+
+
+def peek_tensor_keys(raw: bytes) -> List[str]:
+    """List the tensor keys stored in a shard without materialising payloads."""
+    header, _skeleton, _payload_start = decode_preamble(raw)
+    return [entry.key for entry in header.entries]

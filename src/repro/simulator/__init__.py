@@ -1,0 +1,38 @@
+"""A small coroutine-based discrete-event simulator.
+
+This is the substrate on which the paper's cluster-scale evaluation is
+reproduced.  It provides:
+
+* :class:`Environment` — event calendar and clock.
+* :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`AllOf`,
+  :class:`AnyOf` — the event types processes wait on.
+* :class:`Resource` — counting semaphore (flush thread pools, ...).
+* :class:`FairShareLink` — flow-level bandwidth sharing model used for PCIe,
+  NVMe, NIC, and the Lustre parallel file system.
+* :class:`TraceRecorder` — span/counter collection for the analysis layer.
+"""
+
+from .engine import Environment
+from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from .resources import FairShareLink, Flow, Request, Resource
+from .sync import Barrier, SimHostBuffer, consensus_latency
+from .trace import Span, TraceRecorder
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Request",
+    "FairShareLink",
+    "Flow",
+    "Span",
+    "TraceRecorder",
+    "Barrier",
+    "SimHostBuffer",
+    "consensus_latency",
+]

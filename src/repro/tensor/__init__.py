@@ -1,0 +1,23 @@
+"""Device-tagged tensors and state-dict flattening utilities."""
+
+from .state_dict import (
+    FlattenedState,
+    TensorRef,
+    flatten_state_dict,
+    state_dict_nbytes,
+    tensor_payload_array,
+    unflatten_state_dict,
+)
+from .tensor import Device, DeviceArena, DeviceTensor
+
+__all__ = [
+    "Device",
+    "DeviceTensor",
+    "DeviceArena",
+    "TensorRef",
+    "FlattenedState",
+    "flatten_state_dict",
+    "unflatten_state_dict",
+    "state_dict_nbytes",
+    "tensor_payload_array",
+]

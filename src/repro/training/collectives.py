@@ -1,0 +1,28 @@
+"""Synchronisation primitives used by the simulated training runtime.
+
+The implementations live in :mod:`repro.simulator.sync`; this module
+re-exports them under the training namespace (they are conceptually part of
+the training runtime's collective machinery) and adds simple cost models for
+the collectives whose latency the iteration phase model already folds in.
+"""
+
+from __future__ import annotations
+
+from ..simulator.sync import Barrier, SimHostBuffer, consensus_latency
+
+__all__ = ["Barrier", "SimHostBuffer", "consensus_latency", "allreduce_bytes", "allreduce_time"]
+
+
+def allreduce_bytes(payload_bytes: int, world_size: int) -> int:
+    """Bytes moved per rank by a ring all-reduce of ``payload_bytes``."""
+    if world_size <= 1:
+        return 0
+    return int(2 * payload_bytes * (world_size - 1) / world_size)
+
+
+def allreduce_time(payload_bytes: int, world_size: int, bandwidth: float, latency: float = 0.0) -> float:
+    """Time of a ring all-reduce given a per-rank link ``bandwidth``."""
+    if world_size <= 1 or payload_bytes <= 0:
+        return 0.0
+    steps = 2 * (world_size - 1)
+    return allreduce_bytes(payload_bytes, world_size) / bandwidth + steps * latency

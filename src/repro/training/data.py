@@ -1,0 +1,82 @@
+"""Synthetic token stream for real-mode training.
+
+The paper trains on a subset of OSCAR-en tokenized with the LLaMA2 tokenizer;
+checkpointing behaviour is independent of the token values, so the real-mode
+trainer uses a deterministic synthetic stream with the same shape properties
+(fixed sequence length, fixed micro-batch size, reproducible given a seed) —
+and, importantly for restart tests, the stream position is part of the
+checkpointed state so resumed runs see exactly the batches they would have
+seen without the failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DataConfig:
+    """Shape of the synthetic token stream."""
+
+    vocab_size: int
+    sequence_length: int
+    micro_batch_size: int = 4
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.vocab_size <= 1:
+            raise ConfigurationError("vocab_size must be at least 2")
+        if self.sequence_length <= 1:
+            raise ConfigurationError("sequence_length must be at least 2")
+        if self.micro_batch_size <= 0:
+            raise ConfigurationError("micro_batch_size must be positive")
+
+
+class SyntheticTokenStream:
+    """Deterministic, seekable stream of (tokens, targets) micro-batches."""
+
+    def __init__(self, config: DataConfig) -> None:
+        self.config = config
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        """Number of micro-batches consumed so far (checkpointed)."""
+        return self._position
+
+    def state_dict(self) -> Dict[str, int]:
+        """Stream state for checkpointing."""
+        return {"position": self._position, "seed": self.config.seed}
+
+    def load_state_dict(self, state: Dict[str, int]) -> None:
+        """Restore the stream position from a checkpoint."""
+        if int(state.get("seed", self.config.seed)) != self.config.seed:
+            raise ConfigurationError("data stream seed mismatch on restore")
+        self._position = int(state["position"])
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The next (tokens, targets) micro-batch; advances the stream."""
+        batch = self.batch_at(self._position)
+        self._position += 1
+        return batch
+
+    def batch_at(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The micro-batch at an absolute position (does not advance the stream)."""
+        if index < 0:
+            raise ConfigurationError("batch index must be >= 0")
+        cfg = self.config
+        rng = np.random.default_rng(np.random.SeedSequence([cfg.seed, index]))
+        tokens = rng.integers(0, cfg.vocab_size, size=(cfg.micro_batch_size, cfg.sequence_length),
+                              dtype=np.int64)
+        # Next-token prediction targets: shift left, wrap the last position.
+        targets = np.roll(tokens, -1, axis=1)
+        return tokens, targets
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield self.next_batch()

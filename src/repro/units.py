@@ -1,0 +1,95 @@
+"""Unit helpers shared across the library.
+
+All sizes in the library are expressed in **bytes** (integers where
+possible) and all durations in **seconds** (floats).  Bandwidths are
+bytes/second.  These helpers exist so that calibration constants and
+user-facing configuration can be written in the units the paper uses
+(GB, GB/s, milliseconds) without ad-hoc conversion factors scattered
+around the code base.
+"""
+
+from __future__ import annotations
+
+KB: int = 1 << 10
+MB: int = 1 << 20
+GB: int = 1 << 30
+TB: int = 1 << 40
+
+#: The paper (and storage vendors) quote bandwidths in decimal GB/s.
+GB_DECIMAL: int = 10**9
+
+
+def kib(x: float) -> int:
+    """Return ``x`` KiB expressed in bytes."""
+    return int(x * KB)
+
+
+def mib(x: float) -> int:
+    """Return ``x`` MiB expressed in bytes."""
+    return int(x * MB)
+
+
+def gib(x: float) -> int:
+    """Return ``x`` GiB expressed in bytes."""
+    return int(x * GB)
+
+
+def gb(x: float) -> int:
+    """Return ``x`` decimal gigabytes expressed in bytes."""
+    return int(x * GB_DECIMAL)
+
+
+def gbps(x: float) -> float:
+    """Return a bandwidth of ``x`` GB/s (decimal) in bytes/second."""
+    return x * GB_DECIMAL
+
+
+def to_gib(nbytes: float) -> float:
+    """Convert bytes to GiB."""
+    return nbytes / GB
+
+
+def to_gb(nbytes: float) -> float:
+    """Convert bytes to decimal GB (the unit used in the paper's figures)."""
+    return nbytes / GB_DECIMAL
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert bytes/second to decimal GB/s."""
+    return bytes_per_second / GB_DECIMAL
+
+
+def ms(x: float) -> float:
+    """Return ``x`` milliseconds in seconds."""
+    return x * 1e-3
+
+
+def us(x: float) -> float:
+    """Return ``x`` microseconds in seconds."""
+    return x * 1e-6
+
+
+def human_bytes(nbytes: float) -> str:
+    """Format a byte count for reports (e.g. ``'10.4 GiB'``)."""
+    value = float(nbytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_duration(seconds: float) -> str:
+    """Format a duration for reports (e.g. ``'1.3 s'`` or ``'250 ms'``)."""
+    if seconds < 0:
+        return "-" + human_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:04.1f}s"

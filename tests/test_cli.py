@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_zoo_prints_table(capsys):
+    assert main(["zoo"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "70B" in out
+
+
+def test_cli_simulate_prints_summary(capsys):
+    code = main(["simulate", "--model", "3B", "--engine", "datastates",
+                 "--iterations", "2", "--checkpoint-interval", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "datastates" in out
+    assert "3B" in out
+
+
+def test_cli_figure_3(capsys):
+    assert main(["figure", "3"]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_cli_figure_4(capsys):
+    assert main(["figure", "4"]) == 0
+    assert "forward_s" in capsys.readouterr().out
+
+
+def test_cli_figure_7_reduced_iterations(capsys):
+    assert main(["figure", "7", "--iterations", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "paper_datastates" in out
+
+
+def test_cli_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--model", "175B"])
+
+
+def test_cli_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,137 @@
+"""Failure-injection tests for the real-mode engine.
+
+The paper's entire motivation is surviving failures; these tests verify that
+the engine itself fails *safely*: background flush errors surface to the
+caller, capture errors never produce a committed checkpoint, a failed rank
+aborts the global commit, and crash-truncated files are rejected at restart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DataStatesCheckpointEngine, TwoPhaseCommitCoordinator
+from repro.core.flush_pipeline import FlushPipeline
+from repro.core.lazy_snapshot import CopyStream, SnapshotJob
+from repro.exceptions import CheckpointError, ConsistencyError
+from repro.io import FileStore
+from repro.memory import PinnedHostPool
+from repro.restart import CheckpointLoader
+from repro.serialization import build_header
+from repro.tensor import flatten_state_dict
+
+
+def _state(seed=0, size=512):
+    rng = np.random.default_rng(seed)
+    return {"w": rng.normal(size=size), "m": rng.normal(size=size), "step": seed}
+
+
+class _BrokenStore(FileStore):
+    """A store whose shard writes always fail (full disk, dead OST, ...)."""
+
+    def write_shard(self, tag, shard_name, chunks):  # noqa: D102 - test double
+        for _chunk in chunks:
+            pass
+        raise OSError("no space left on device")
+
+
+def test_flush_failure_surfaces_to_caller(tmp_path):
+    store = _BrokenStore(tmp_path)
+    engine = DataStatesCheckpointEngine(store, host_buffer_size=4 << 20)
+    try:
+        handle = engine.save(_state(), tag="doomed", iteration=0)
+        with pytest.raises(CheckpointError):
+            handle.wait_durable(timeout=10.0)
+        with pytest.raises(CheckpointError):
+            engine.wait_for_flushes(timeout=10.0)
+        # Nothing may have been committed.
+        assert store.list_committed_checkpoints() == []
+    finally:
+        engine.shutdown(wait=False)
+
+
+def test_capture_failure_propagates_through_flush(tmp_path):
+    """If the device-to-host capture dies mid-way, the shard write must fail
+    rather than silently producing a truncated-but-renamed file."""
+    store = FileStore(tmp_path)
+    pool = PinnedHostPool(1 << 20)
+    state = _state(seed=1)
+    flattened = flatten_state_dict(state)
+    header = build_header(flattened)
+    # Corrupt one tensor reference so capture raises after the first tensor.
+    broken_tensors = list(flattened.tensors)
+    broken_tensors[1] = broken_tensors[1].__class__(
+        path=broken_tensors[1].path, shape=broken_tensors[1].shape,
+        dtype=broken_tensors[1].dtype, nbytes=broken_tensors[1].nbytes,
+        device=broken_tensors[1].device, payload=None,
+    )
+    snapshot = SnapshotJob(tag="bad", shard_name="rank0", header=header,
+                           skeleton=flattened.skeleton_bytes(), tensors=broken_tensors)
+    stream = CopyStream(pool)
+    pipeline = FlushPipeline(store, pool, rank=0)
+    try:
+        stream.submit(snapshot)
+        job = pipeline.submit(snapshot)
+        with pytest.raises(CheckpointError):
+            job.wait(timeout=10.0)
+        with pytest.raises(CheckpointError):
+            snapshot.wait_captured(timeout=10.0)
+        assert not store.shard_path("bad", "rank0").exists()
+    finally:
+        stream.shutdown()
+        pipeline.shutdown(wait=False)
+
+
+def test_rank_failure_aborts_global_commit(tmp_path):
+    store = FileStore(tmp_path)
+    coordinator = TwoPhaseCommitCoordinator(world_size=2, store=store)
+    engine = DataStatesCheckpointEngine(store, rank=0, world_size=2,
+                                        coordinator=coordinator, host_buffer_size=4 << 20)
+    try:
+        engine.save(_state(), tag="half", iteration=0)
+        engine.wait_for_flushes()
+        coordinator.fail("half", rank=1, reason="node went down")
+        with pytest.raises(ConsistencyError):
+            coordinator.wait_committed("half", timeout=5.0)
+        assert store.list_committed_checkpoints() == []
+        # The torn checkpoint is prunable at restart.
+        loader = CheckpointLoader(store)
+        assert loader.prune_uncommitted() == ["half"]
+    finally:
+        engine.shutdown(wait=False)
+
+
+def test_crash_truncated_committed_shard_detected(tmp_path):
+    """Even a committed checkpoint is re-validated at restart: a post-commit
+    truncation (partial disk corruption) must be caught by size/CRC checks."""
+    store = FileStore(tmp_path)
+    engine = DataStatesCheckpointEngine(store, host_buffer_size=4 << 20)
+    engine.save(_state(seed=2), tag="ok", iteration=1)
+    engine.wait_all()
+    engine.shutdown()
+
+    path = store.shard_path("ok", "rank0")
+    path.write_bytes(path.read_bytes()[:-64])
+    loader = CheckpointLoader(store)
+    with pytest.raises(ConsistencyError):
+        loader.validate("ok")
+    with pytest.raises(ConsistencyError):
+        loader.load_all("ok")
+
+
+def test_engine_survives_failure_and_accepts_new_checkpoints(tmp_path):
+    """A failed checkpoint must not wedge the engine: later requests succeed."""
+    store = FileStore(tmp_path)
+    coordinator = TwoPhaseCommitCoordinator(world_size=1, store=store)
+    engine = DataStatesCheckpointEngine(store, coordinator=coordinator,
+                                        host_buffer_size=4 << 20)
+    try:
+        # First checkpoint fails at commit time because we pre-poison the tag
+        # (simulates a peer failure in a larger world).
+        coordinator.fail("first", rank=0, reason="injected")
+        engine.save(_state(seed=3), tag="second", iteration=2)
+        engine.wait_for_flushes()
+        assert coordinator.wait_committed("second", timeout=10.0)
+        loaded = engine.load("second")
+        np.testing.assert_array_equal(loaded["w"], _state(seed=3)["w"])
+    finally:
+        engine.shutdown(wait=False)

@@ -1,0 +1,164 @@
+"""Tests for the on-disk file store and the background flush worker pool."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.io import FileStore, FlushTask, FlushWorkerPool
+
+
+# ---------------------------------------------------------------------------
+# FileStore
+# ---------------------------------------------------------------------------
+
+def test_write_and_read_shard(tmp_path):
+    store = FileStore(tmp_path)
+    receipt = store.write_shard("ckpt-1", "rank0", [b"hello ", b"world"])
+    assert receipt.nbytes == 11
+    assert store.read_shard("ckpt-1", "rank0") == b"hello world"
+    assert store.shard_size("ckpt-1", "rank0") == 11
+
+
+def test_read_missing_shard_raises(tmp_path):
+    store = FileStore(tmp_path)
+    with pytest.raises(CheckpointError):
+        store.read_shard("nope", "rank0")
+
+
+def test_manifest_roundtrip(tmp_path):
+    store = FileStore(tmp_path)
+    store.write_manifest("ckpt-1", {"tag": "ckpt-1", "shards": []})
+    assert store.read_manifest("ckpt-1") == {"tag": "ckpt-1", "shards": []}
+
+
+def test_missing_manifest_raises(tmp_path):
+    store = FileStore(tmp_path)
+    store.write_shard("ckpt-1", "rank0", [b"x"])
+    with pytest.raises(CheckpointError):
+        store.read_manifest("ckpt-1")
+
+
+def test_list_checkpoints_and_committed(tmp_path):
+    store = FileStore(tmp_path)
+    store.write_shard("b-ckpt", "rank0", [b"x"])
+    store.write_shard("a-ckpt", "rank0", [b"x"])
+    store.write_manifest("a-ckpt", {"tag": "a-ckpt"})
+    assert store.list_checkpoints() == ["a-ckpt", "b-ckpt"]
+    assert store.list_committed_checkpoints() == ["a-ckpt"]
+
+
+def test_delete_checkpoint(tmp_path):
+    store = FileStore(tmp_path)
+    store.write_shard("ckpt-1", "rank0", [b"x"])
+    store.delete_checkpoint("ckpt-1")
+    assert store.list_checkpoints() == []
+    # Deleting a non-existent checkpoint is a no-op.
+    store.delete_checkpoint("ckpt-1")
+
+
+def test_total_bytes_counts_only_shards(tmp_path):
+    store = FileStore(tmp_path)
+    store.write_shard("ckpt-1", "rank0", [b"x" * 10])
+    store.write_shard("ckpt-1", "rank1", [b"y" * 20])
+    store.write_manifest("ckpt-1", {"tag": "ckpt-1"})
+    assert store.total_bytes("ckpt-1") == 30
+    assert store.total_bytes("missing") == 0
+
+
+def test_write_is_atomic_no_partial_file_on_failure(tmp_path):
+    store = FileStore(tmp_path)
+
+    def failing_chunks():
+        yield b"partial"
+        raise RuntimeError("simulated crash mid-write")
+
+    with pytest.raises(RuntimeError):
+        store.write_shard("ckpt-1", "rank0", failing_chunks())
+    # The final shard file must not exist, and no temp files may linger as shards.
+    assert not store.shard_path("ckpt-1", "rank0").exists()
+
+
+def test_overwrite_shard_replaces_content(tmp_path):
+    store = FileStore(tmp_path)
+    store.write_shard("ckpt-1", "rank0", [b"old"])
+    store.write_shard("ckpt-1", "rank0", [b"new-content"])
+    assert store.read_shard("ckpt-1", "rank0") == b"new-content"
+
+
+# ---------------------------------------------------------------------------
+# FlushWorkerPool
+# ---------------------------------------------------------------------------
+
+def test_flush_pool_executes_tasks_in_background():
+    pool = FlushWorkerPool(num_workers=2)
+    results = []
+    done = threading.Event()
+
+    def work():
+        results.append(1)
+
+    pool.submit(FlushTask(run=work, on_done=lambda err: done.set()))
+    assert done.wait(timeout=5.0)
+    pool.drain()
+    assert results == [1]
+    pool.shutdown()
+
+
+def test_flush_pool_drain_waits_for_all():
+    pool = FlushWorkerPool(num_workers=1)
+    counter = []
+    for index in range(5):
+        pool.submit(FlushTask(run=lambda i=index: (time.sleep(0.01), counter.append(i))))
+    pool.drain()
+    assert sorted(counter) == list(range(5))
+    pool.shutdown()
+
+
+def test_flush_pool_reports_errors_on_drain():
+    pool = FlushWorkerPool(num_workers=1)
+
+    def bad():
+        raise ValueError("disk on fire")
+
+    pool.submit(FlushTask(run=bad, description="bad"))
+    with pytest.raises(CheckpointError):
+        pool.drain()
+    pool.shutdown()
+
+
+def test_flush_pool_on_done_receives_error():
+    pool = FlushWorkerPool(num_workers=1)
+    seen = []
+    finished = threading.Event()
+
+    def bad():
+        raise ValueError("nope")
+
+    pool.submit(FlushTask(run=bad, on_done=lambda err: (seen.append(err), finished.set())))
+    assert finished.wait(timeout=5.0)
+    assert isinstance(seen[0], ValueError)
+    pool.shutdown(wait=False)
+
+
+def test_flush_pool_rejects_after_shutdown():
+    pool = FlushWorkerPool(num_workers=1)
+    pool.shutdown()
+    with pytest.raises(CheckpointError):
+        pool.submit(FlushTask(run=lambda: None))
+
+
+def test_flush_pool_requires_workers():
+    with pytest.raises(CheckpointError):
+        FlushWorkerPool(num_workers=0)
+
+
+def test_flush_pool_single_worker_preserves_fifo_order():
+    pool = FlushWorkerPool(num_workers=1)
+    order = []
+    for index in range(10):
+        pool.submit(FlushTask(run=lambda i=index: order.append(i)))
+    pool.drain()
+    assert order == list(range(10))
+    pool.shutdown()

@@ -1,0 +1,62 @@
+"""Tests for memory tier descriptors."""
+
+import pytest
+
+from repro.config import PlatformSpec
+from repro.exceptions import ConfigurationError
+from repro.memory import TierKind, TierSpec, default_hierarchy, flush_order
+from repro.units import GB
+
+
+def test_default_hierarchy_contains_all_levels():
+    hierarchy = default_hierarchy(PlatformSpec.polaris(), host_buffer_size=16 * GB)
+    assert set(hierarchy) == {
+        TierKind.GPU_HBM,
+        TierKind.HOST_PINNED,
+        TierKind.HOST_PAGEABLE,
+        TierKind.NODE_LOCAL_NVME,
+        TierKind.PARALLEL_FS,
+    }
+
+
+def test_hierarchy_host_pinned_capacity_matches_request():
+    hierarchy = default_hierarchy(PlatformSpec.polaris(), host_buffer_size=123456)
+    assert hierarchy[TierKind.HOST_PINNED].capacity == 123456
+
+
+def test_hierarchy_rejects_non_positive_buffer():
+    with pytest.raises(ConfigurationError):
+        default_hierarchy(PlatformSpec.polaris(), host_buffer_size=0)
+
+
+def test_flush_order_goes_down_the_hierarchy():
+    hierarchy = default_hierarchy(PlatformSpec.polaris(), host_buffer_size=GB)
+    order = flush_order(hierarchy)
+    assert order[0] == TierKind.GPU_HBM
+    assert order[-1] == TierKind.PARALLEL_FS
+    assert order.index(TierKind.HOST_PINNED) < order.index(TierKind.NODE_LOCAL_NVME)
+
+
+def test_persistent_tiers_flagged():
+    assert TierKind.PARALLEL_FS.is_persistent
+    assert TierKind.NODE_LOCAL_NVME.is_persistent
+    assert not TierKind.HOST_PINNED.is_persistent
+    assert not TierKind.GPU_HBM.is_persistent
+
+
+def test_tier_spec_validation():
+    with pytest.raises(ConfigurationError):
+        TierSpec(kind=TierKind.GPU_HBM, capacity=0, write_bandwidth=1.0, read_bandwidth=1.0)
+    with pytest.raises(ConfigurationError):
+        TierSpec(kind=TierKind.GPU_HBM, capacity=1, write_bandwidth=0.0, read_bandwidth=1.0)
+    with pytest.raises(ConfigurationError):
+        TierSpec(kind=TierKind.GPU_HBM, capacity=1, write_bandwidth=1.0, read_bandwidth=1.0,
+                 access_latency=-1.0)
+
+
+def test_pinned_tier_faster_than_pageable():
+    hierarchy = default_hierarchy(PlatformSpec.polaris(), host_buffer_size=GB)
+    assert (
+        hierarchy[TierKind.HOST_PINNED].write_bandwidth
+        > hierarchy[TierKind.HOST_PAGEABLE].write_bandwidth
+    )

@@ -1,0 +1,141 @@
+"""Tests for the thread-safe pinned host pool."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AllocationError
+from repro.memory import PinnedHostPool
+
+
+def test_allocate_returns_view_of_requested_size():
+    pool = PinnedHostPool(1024)
+    alloc = pool.allocate(100)
+    assert alloc.size == 100
+    assert len(alloc.view) == 100
+    assert pool.used_bytes == 100
+    pool.free(alloc)
+    assert pool.used_bytes == 0
+
+
+def test_view_writes_land_in_backing_buffer():
+    pool = PinnedHostPool(256)
+    alloc = pool.allocate(16)
+    np.frombuffer(alloc.view, dtype=np.uint8)[:] = 7
+    raw = pool.view(alloc.offset, alloc.size)
+    assert bytes(raw) == b"\x07" * 16
+    pool.free(alloc)
+
+
+def test_oversized_allocation_always_rejected():
+    pool = PinnedHostPool(100)
+    with pytest.raises(AllocationError):
+        pool.allocate(101)
+
+
+def test_non_blocking_allocation_raises_when_full():
+    pool = PinnedHostPool(100)
+    pool.allocate(90)
+    with pytest.raises(AllocationError):
+        pool.allocate(20, blocking=False)
+
+
+def test_blocking_allocation_waits_for_free():
+    pool = PinnedHostPool(100)
+    first = pool.allocate(80)
+    result = {}
+
+    def blocked():
+        result["alloc"] = pool.allocate(60, blocking=True, timeout=5.0)
+
+    thread = threading.Thread(target=blocked)
+    thread.start()
+    time.sleep(0.05)
+    assert "alloc" not in result
+    pool.free(first)
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert result["alloc"].size == 60
+
+
+def test_blocking_allocation_times_out():
+    pool = PinnedHostPool(100)
+    pool.allocate(90)
+    with pytest.raises(AllocationError):
+        pool.allocate(50, blocking=True, timeout=0.05)
+
+
+def test_close_unblocks_waiters_with_error():
+    pool = PinnedHostPool(100)
+    pool.allocate(90)
+    errors = []
+
+    def blocked():
+        try:
+            pool.allocate(50, blocking=True, timeout=5.0)
+        except AllocationError as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=blocked)
+    thread.start()
+    time.sleep(0.05)
+    pool.close()
+    thread.join(timeout=5.0)
+    assert errors
+
+
+def test_view_bounds_checked():
+    pool = PinnedHostPool(64)
+    with pytest.raises(AllocationError):
+        pool.view(60, 10)
+
+
+def test_reset_allows_reuse():
+    pool = PinnedHostPool(100)
+    pool.allocate(100)
+    pool.reset()
+    assert pool.free_bytes == 100
+    assert pool.allocate(100).size == 100
+
+
+def test_concurrent_producers_and_consumer():
+    """Several producer threads allocate/fill slices while a consumer frees
+    them; the pool must neither deadlock nor corrupt accounting."""
+    pool = PinnedHostPool(4096)
+    produced = []
+    lock = threading.Lock()
+
+    def producer(value):
+        for _ in range(20):
+            alloc = pool.allocate(128, blocking=True, timeout=10.0)
+            np.frombuffer(alloc.view, dtype=np.uint8)[:] = value
+            with lock:
+                produced.append((value, alloc))
+
+    def consumer():
+        freed = 0
+        deadline = time.time() + 10.0
+        while freed < 60 and time.time() < deadline:
+            with lock:
+                item = produced.pop(0) if produced else None
+            if item is None:
+                time.sleep(0.001)
+                continue
+            value, alloc = item
+            data = np.frombuffer(alloc.view, dtype=np.uint8)
+            assert np.all(data == value)
+            pool.free(alloc)
+            freed += 1
+        assert freed == 60
+
+    threads = [threading.Thread(target=producer, args=(v,)) for v in (1, 2, 3)]
+    consumer_thread = threading.Thread(target=consumer)
+    for thread in threads:
+        thread.start()
+    consumer_thread.start()
+    for thread in threads:
+        thread.join(timeout=15.0)
+    consumer_thread.join(timeout=15.0)
+    assert pool.used_bytes == 0
