@@ -2,20 +2,36 @@
 
 Complements the simulation benches with measurements of the actual code path
 on real NumPy state: how long a checkpoint request blocks the training thread
-with the lazy asynchronous engine vs the synchronous baseline, and the
-end-to-end save/restore throughput of the serializer.
+with the lazy asynchronous engine vs the synchronous baseline, the
+end-to-end save/restore throughput of the serializer, and the I/O fast path
+(offset-addressed parallel pwrites + mmap restore) against the legacy
+streaming/read paths.  The fast-path comparison is persisted as
+``benchmarks/results/BENCH_io_fastpath.json`` so the perf trajectory is
+tracked across PRs.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.analysis import format_table
+from repro.config import CheckpointPolicy
 from repro.core import DataStatesCheckpointEngine, SynchronousCheckpointEngine
+from repro.core.flush_pipeline import DEFAULT_WRITER_THREADS, FlushPipeline
+from repro.core.lazy_snapshot import SnapshotJob
 from repro.io import FileStore
+from repro.memory import PinnedHostPool
 from repro.model import NumpyTransformerLM, tiny_config
+from repro.restart import CheckpointLoader
+from repro.serialization import build_header
+from repro.tensor import flatten_state_dict
 from repro.training import RealTrainer
+
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def _make_state(megabytes: int, seed: int = 0):
@@ -107,3 +123,196 @@ def test_real_restore_roundtrip_throughput(benchmark, emit, tmp_path):
     emit("real_engine_restore", format_table(
         [{"metric": "checkpoint bytes", "value": nbytes}],
         title="Real-mode save/validate/restore round trip"))
+
+
+# ---------------------------------------------------------------------------
+# I/O fast path: parallel pwrite flush vs streaming, mmap vs read restore
+# ---------------------------------------------------------------------------
+
+def _fastpath_state(total_mb: int, tensors: int = 16, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    per_tensor = total_mb * 1024 * 1024 // tensors // 8
+    return {f"t{i}": rng.normal(size=per_tensor) for i in range(tensors)}
+
+
+def _flush_bench_dir(tmp_path) -> Path:
+    """Directory for the flush-throughput microbench.
+
+    Prefers tmpfs (``/dev/shm``) so the measurement captures the software
+    write path (chunk handling, checksums, syscalls) rather than the
+    benchmark host's backing device — CI VMs often sit on a ~150 MB/s virtual
+    disk that throttles every path to parity.  Override with
+    ``REPRO_BENCH_DIR``; falls back to the pytest tmp dir.
+    """
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        return Path(override)
+    shm = Path("/dev/shm")
+    if shm.is_dir() and os.access(shm, os.W_OK):
+        return shm / f"repro-io-fastpath-{os.getpid()}"
+    return tmp_path
+
+
+def _staged_snapshot(pool, state, tag, shard="rank0"):
+    """Capture a snapshot fully into the pool so the flush measurement
+    isolates the host-to-storage path from the device-to-host copy."""
+    flattened = flatten_state_dict(state)
+    header = build_header(flattened)
+    snapshot = SnapshotJob(tag=tag, shard_name=shard, header=header,
+                           skeleton=flattened.skeleton_bytes(),
+                           tensors=flattened.tensors)
+    snapshot.capture(pool)
+    return snapshot
+
+
+class _CopyChunkStore(FileStore):
+    """Seed-era streaming behaviour: every chunk is materialised as a heap
+    ``bytes`` copy before it is written (the `bytes(view[start:stop])` loop
+    this PR removed); benchmarked to track the zero-copy win over time."""
+
+    def write_shard(self, tag, shard_name, chunks):
+        return super().write_shard(
+            tag, shard_name, (bytes(chunk) for chunk in chunks))
+
+
+def _measure_flush(bench_dir, pool, state, mode, rounds):
+    best = float("inf")
+    nbytes = 0
+    store_cls = _CopyChunkStore if mode == "copy_streaming" else FileStore
+    for round_index in range(rounds):
+        store = store_cls(bench_dir / f"{mode}-{round_index}")
+        pipeline = FlushPipeline(store, pool,
+                                 parallel_shard_writes=(mode == "parallel"))
+        try:
+            snapshot = _staged_snapshot(pool, state, tag=f"bench-{round_index}")
+            start = time.perf_counter()
+            result = pipeline._write_shard(snapshot)
+            best = min(best, time.perf_counter() - start)
+            nbytes = result.nbytes
+        finally:
+            pipeline.shutdown(wait=True)
+            store.delete_checkpoint(f"bench-{round_index}")
+    return best, nbytes
+
+
+def _measure_save_stall(tmp_path, state, parallel):
+    policy = CheckpointPolicy(host_buffer_size=2 * sum(a.nbytes for a in state.values()),
+                              parallel_shard_writes=parallel)
+    mode = "parallel" if parallel else "streaming"
+    store = FileStore(tmp_path / f"engine-{mode}")
+    engine = DataStatesCheckpointEngine(store, policy=policy)
+    try:
+        start = time.perf_counter()
+        handle = engine.save(state, tag="stall", iteration=0)
+        stall = time.perf_counter() - start
+        handle.wait_durable(timeout=120.0)
+        durable = time.perf_counter() - start
+        engine.wait_all()
+    finally:
+        engine.shutdown()
+    return stall, durable, store
+
+
+def _measure_restore(store, use_mmap, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        loader = CheckpointLoader(store, use_mmap=use_mmap)
+        start = time.perf_counter()
+        states = loader.load_all("stall", validate=True)
+        best = min(best, time.perf_counter() - start)
+    return best, states
+
+
+def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
+    """Legacy streaming flush vs offset-addressed parallel pwrites, and
+    read-everything restore vs mmap restore; persisted as
+    ``BENCH_io_fastpath.json`` for cross-PR tracking."""
+    import shutil
+
+    full = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+    total_mb = 512 if full else 96
+    rounds = 3
+    state = _fastpath_state(total_mb)
+    total_bytes = sum(arr.nbytes for arr in state.values())
+    pool = PinnedHostPool(2 * total_bytes)
+    bench_dir = _flush_bench_dir(tmp_path)
+
+    def run():
+        flush = {}
+        nbytes = 0
+        for mode in ("copy_streaming", "streaming", "parallel"):
+            seconds, nbytes = _measure_flush(bench_dir, pool, state, mode, rounds)
+            flush[f"{mode}_seconds"] = seconds
+            flush[f"{mode}_mbps"] = nbytes / seconds / 1e6
+        flush["speedup_vs_streaming"] = (
+            flush["streaming_seconds"] / flush["parallel_seconds"])
+        flush["speedup_vs_copy_streaming"] = (
+            flush["copy_streaming_seconds"] / flush["parallel_seconds"])
+
+        stall_stream, durable_stream, _ = _measure_save_stall(tmp_path, state, parallel=False)
+        stall_par, durable_par, engine_store = _measure_save_stall(tmp_path, state, parallel=True)
+
+        read_s, read_states = _measure_restore(engine_store, use_mmap=False, rounds=rounds)
+        mmap_s, mmap_states = _measure_restore(engine_store, use_mmap=True, rounds=rounds)
+        np.testing.assert_array_equal(read_states[0]["t0"], state["t0"])
+        np.testing.assert_array_equal(mmap_states[0]["t3"], state["t3"])
+        return {
+            "shard_bytes": nbytes,
+            "cpu_count": os.cpu_count(),
+            "writer_threads": DEFAULT_WRITER_THREADS,
+            "flush": flush,
+            "restore": {
+                "read_seconds": read_s,
+                "read_mbps": nbytes / read_s / 1e6,
+                "mmap_seconds": mmap_s,
+                "mmap_mbps": nbytes / mmap_s / 1e6,
+                "speedup": read_s / mmap_s,
+            },
+            "save_stall": {
+                "streaming_seconds": stall_stream,
+                "streaming_durable_seconds": durable_stream,
+                "parallel_seconds": stall_par,
+                "parallel_durable_seconds": durable_par,
+            },
+        }
+
+    try:
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        pool.close()
+        if bench_dir != tmp_path:
+            shutil.rmtree(bench_dir, ignore_errors=True)
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_io_fastpath.json"
+    json_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n",
+                         encoding="utf-8")
+
+    flush, restore, stall = results["flush"], results["restore"], results["save_stall"]
+    rows = [
+        {"path": "flush: seed copy-streaming", "MB/s": round(flush["copy_streaming_mbps"], 1),
+         "seconds": round(flush["copy_streaming_seconds"], 4)},
+        {"path": "flush: zero-copy streaming", "MB/s": round(flush["streaming_mbps"], 1),
+         "seconds": round(flush["streaming_seconds"], 4)},
+        {"path": "flush: parallel pwrite", "MB/s": round(flush["parallel_mbps"], 1),
+         "seconds": round(flush["parallel_seconds"], 4)},
+        {"path": "flush speedup (vs streaming)", "MB/s": "-",
+         "seconds": round(flush["speedup_vs_streaming"], 2)},
+        {"path": "flush speedup (vs seed copy)", "MB/s": "-",
+         "seconds": round(flush["speedup_vs_copy_streaming"], 2)},
+        {"path": "restore: read+validate", "MB/s": round(restore["read_mbps"], 1),
+         "seconds": round(restore["read_seconds"], 4)},
+        {"path": "restore: mmap+validate", "MB/s": round(restore["mmap_mbps"], 1),
+         "seconds": round(restore["mmap_seconds"], 4)},
+        {"path": "restore speedup", "MB/s": "-", "seconds": round(restore["speedup"], 2)},
+        {"path": "save() stall (streaming)", "MB/s": "-",
+         "seconds": round(stall["streaming_seconds"], 5)},
+        {"path": "save() stall (parallel)", "MB/s": "-",
+         "seconds": round(stall["parallel_seconds"], 5)},
+    ]
+    emit("io_fastpath", format_table(
+        rows, title=f"I/O fast path vs legacy ({results['shard_bytes'] / 1e6:.0f} MB shard, "
+                    f"{results['cpu_count']} CPUs) [{json_path.name}]"))
+    # Identical bytes must land on disk regardless of write order; speedups
+    # scale with available cores (a 1-CPU container shows parity on flush).
+    assert flush["speedup_vs_streaming"] > 0.0 and restore["speedup"] > 0.0

@@ -198,6 +198,16 @@ class CheckpointPolicy:
     #: Run the distributed commit protocol asynchronously (overlapping with
     #: training) instead of synchronously at the end of the checkpoint.
     async_consolidation: bool = True
+    #: Offset-addressed parallel shard writes: since the shard header fixes
+    #: every tensor's file offset up front, staged tensors are pwritten to
+    #: their final offsets by multiple workers, out of order, as each
+    #: device-to-host copy lands.  ``False`` selects the legacy streaming
+    #: path (one sequential writer per shard).
+    parallel_shard_writes: bool = True
+    #: Restore shards through a read-only mmap instead of reading the whole
+    #: file into a heap ``bytes`` object: checksums are validated by
+    #: streaming over the map and arrays are rebuilt straight out of it.
+    mmap_restore: bool = True
 
     def __post_init__(self) -> None:
         if self.host_buffer_size <= 0:

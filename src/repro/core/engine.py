@@ -77,9 +77,12 @@ class DataStatesCheckpointEngine:
         self.store = store
         self.rank = rank
         self.world_size = world_size
-        self.policy = policy or CheckpointPolicy(host_buffer_size=host_buffer_size or 256 * 1024 * 1024)
-        if host_buffer_size is not None and (policy is None):
-            self.policy = self.policy.with_overrides(host_buffer_size=host_buffer_size)
+        resolved = policy or CheckpointPolicy(host_buffer_size=host_buffer_size or 256 * 1024 * 1024)
+        if host_buffer_size is not None:
+            # An explicit host_buffer_size always wins, including over a
+            # simultaneously-passed policy.
+            resolved = resolved.with_overrides(host_buffer_size=host_buffer_size)
+        self.policy = resolved
         self.coordinator = coordinator or TwoPhaseCommitCoordinator(world_size, store)
         self.pool = PinnedHostPool(self.policy.host_buffer_size)
         self.copy_stream = CopyStream(self.pool, name=f"d2h-copy-r{rank}")
@@ -89,6 +92,7 @@ class DataStatesCheckpointEngine:
             rank=rank,
             flush_threads=self.policy.flush_threads,
             chunk_size=self.policy.chunk_size,
+            parallel_shard_writes=self.policy.parallel_shard_writes,
         )
         self._handles: List[CheckpointHandle] = []
         self._pending_votes: Dict[str, List] = {}
@@ -174,7 +178,13 @@ class DataStatesCheckpointEngine:
 
     # ------------------------------------------------------------------ load
     def load(self, tag: str, shard_name: Optional[str] = None) -> Any:
-        """Load this rank's state from a committed checkpoint."""
+        """Load this rank's state from a committed checkpoint.
+
+        With ``policy.mmap_restore`` the shard is memory-mapped and each array
+        is materialised straight out of the map one tensor at a time, so the
+        restore never holds both the raw file bytes and the rebuilt arrays on
+        the heap at once.
+        """
         manifest = self.store.read_manifest(tag)
         shard = shard_name or f"rank{self.rank}"
         recorded = {item["name"] for item in manifest.get("shards", [])}
@@ -182,6 +192,9 @@ class DataStatesCheckpointEngine:
             raise CheckpointError(
                 f"checkpoint {tag!r} has no shard {shard!r} (has: {sorted(recorded)[:4]} ...)"
             )
+        if self.policy.mmap_restore and callable(getattr(self.store, "open_shard_mmap", None)):
+            with self.store.open_shard_mmap(tag, shard) as mapped:
+                return deserialize_state(mapped.data, copy=True)
         raw = self.store.read_shard(tag, shard)
         return deserialize_state(raw)
 
@@ -202,7 +215,10 @@ class DataStatesCheckpointEngine:
             "checkpoints_requested": self._checkpoints_requested,
             "host_buffer_bytes": self.pool.capacity,
             "host_buffer_used_bytes": self.pool.used_bytes,
+            "host_buffer_peak_bytes": self.pool.peak_used_bytes,
+            "host_buffer_blocked_waits": self.pool.blocked_waits,
             "pending_flushes": len(self.pipeline.pending_jobs()),
+            "queued_flush_tasks": self.pipeline.workers.unfinished,
         }
 
     # ---------------------------------------------------------------- shutdown

@@ -8,6 +8,22 @@ both the remaining copies and the training computation (streamlined
 multi-level flushing, §5.1).  Pinned-pool space is released tensor by tensor
 as it is consumed, which is what lets the circular buffer admit the next
 checkpoint.
+
+Two write paths exist, selected by ``parallel_shard_writes``:
+
+* **Streaming (legacy/fallback)** — one sequential writer drains the staging
+  queue front to back into :meth:`FileStore.write_shard`.  Chunks are
+  zero-copy ``memoryview`` slices of the pinned pool; the whole-file CRC32 is
+  accumulated incrementally.
+
+* **Parallel offset-addressed (fast path)** — because the shard header fixes
+  every tensor's file offset up front, each staged tensor is dispatched to a
+  pool of pwrite workers the moment its device-to-host copy lands, and lands
+  at its final offset via :class:`~repro.io.ShardWriter` — multiple workers
+  write *one shard's tensors concurrently, out of order*.  Each worker
+  checksums its staged view; the whole-file CRC32 is folded from the
+  per-tensor CRCs with :func:`~repro.serialization.crc32_combine`, so
+  integrity validation at restart is byte-identical to the streaming path.
 """
 
 from __future__ import annotations
@@ -15,16 +31,19 @@ from __future__ import annotations
 import threading
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 from ..exceptions import CheckpointError
 from ..io import FileStore, FlushTask, FlushWorkerPool
 from ..logging_utils import get_logger
 from ..memory import PinnedHostPool
-from ..serialization import ShardRecord, encode_preamble
+from ..serialization import ShardRecord, crc32_combine, encode_preamble
 from .lazy_snapshot import SnapshotJob, StagedTensor
 
 logger = get_logger(__name__)
+
+#: Default number of concurrent pwrite workers for the parallel fast path.
+DEFAULT_WRITER_THREADS = 4
 
 
 @dataclass
@@ -72,6 +91,8 @@ class FlushPipeline:
         rank: int = 0,
         flush_threads: int = 1,
         chunk_size: int = 8 * 1024 * 1024,
+        parallel_shard_writes: bool = False,
+        writer_threads: Optional[int] = None,
     ) -> None:
         if chunk_size <= 0:
             raise CheckpointError("chunk_size must be positive")
@@ -80,6 +101,15 @@ class FlushPipeline:
         self.rank = rank
         self.chunk_size = chunk_size
         self.workers = FlushWorkerPool(num_workers=flush_threads, name=f"flush-r{rank}")
+        # Offset-addressed fast path needs a store that can hand out pwrite
+        # writers; plain stores (and test doubles) fall back to streaming.
+        self.parallel_shard_writes = bool(
+            parallel_shard_writes and callable(getattr(store, "create_shard_writer", None))
+        )
+        self._pwriters: Optional[FlushWorkerPool] = None
+        if self.parallel_shard_writes:
+            count = writer_threads or max(flush_threads, DEFAULT_WRITER_THREADS)
+            self._pwriters = FlushWorkerPool(num_workers=count, name=f"pwrite-r{rank}")
         self._jobs: List[ShardFlushJob] = []
         self._lock = threading.Lock()
 
@@ -121,13 +151,20 @@ class FlushPipeline:
     def shutdown(self, wait: bool = True) -> None:
         """Stop the flush workers."""
         self.workers.shutdown(wait=wait)
+        if self._pwriters is not None:
+            self._pwriters.shutdown(wait=wait)
 
     # -- the actual write ----------------------------------------------------------
     def _write_shard(self, snapshot: SnapshotJob) -> FlushResult:
+        if self.parallel_shard_writes:
+            return self._write_shard_parallel(snapshot)
+        return self._write_shard_streaming(snapshot)
+
+    def _write_shard_streaming(self, snapshot: SnapshotJob) -> FlushResult:
         checksum = 0
         nbytes = 0
 
-        def chunks() -> Iterator[bytes]:
+        def chunks() -> Iterator[Union[bytes, memoryview]]:
             nonlocal checksum, nbytes
             preamble = encode_preamble(snapshot.header, snapshot.skeleton)
             # Whole-file CRC32, accumulated incrementally chunk by chunk so it
@@ -143,7 +180,7 @@ class FlushPipeline:
                 total = staged.entry.nbytes
                 for start in range(0, total, self.chunk_size):
                     stop = min(start + self.chunk_size, total)
-                    piece = bytes(view[start:stop])
+                    piece = view[start:stop]
                     checksum = zlib.crc32(piece, checksum) & 0xFFFFFFFF
                     nbytes += len(piece)
                     yield piece
@@ -161,3 +198,129 @@ class FlushPipeline:
                              nbytes=receipt.nbytes, checksum=checksum)
         return FlushResult(tag=snapshot.tag, shard_name=snapshot.shard_name,
                            nbytes=receipt.nbytes, checksum=checksum, record=record)
+
+    def _write_shard_parallel(self, snapshot: SnapshotJob) -> FlushResult:
+        """Offset-addressed flush: staged tensors fan out to pwrite workers."""
+        assert self._pwriters is not None
+        header = snapshot.header
+        preamble = encode_preamble(header, snapshot.skeleton)
+        payload_start = len(preamble)
+        total_bytes = payload_start + header.payload_bytes
+        index_by_offset = {entry.offset: i for i, entry in enumerate(header.entries)}
+
+        try:
+            writer = self.store.create_shard_writer(snapshot.tag, snapshot.shard_name,
+                                                    total_bytes)
+        except BaseException:
+            self._drain_staged(snapshot)
+            raise
+
+        state_lock = threading.Lock()
+        tensor_crcs: List[Optional[int]] = [None] * len(header.entries)
+        errors: List[BaseException] = []
+        pending = 0
+        done_cv = threading.Condition()
+
+        def task_finished(_error: Optional[BaseException]) -> None:
+            nonlocal pending
+            with done_cv:
+                pending -= 1
+                done_cv.notify_all()
+
+        queue_drained = False
+        try:
+            try:
+                writer.pwrite(0, preamble)
+            except BaseException as exc:  # noqa: BLE001 - reported after draining
+                with state_lock:
+                    errors.append(exc)
+
+            while True:
+                staged = snapshot.staged.get()
+                if staged is None:
+                    break
+                with state_lock:
+                    failed = bool(errors)
+                if failed:
+                    # A write already failed: keep draining the queue so the
+                    # pinned pool is released and the capture thread never
+                    # wedges.
+                    self.pool.free(staged.allocation)
+                    continue
+                with done_cv:
+                    pending += 1
+
+                def write_one(staged: StagedTensor = staged) -> None:
+                    try:
+                        entry = staged.entry
+                        view = staged.allocation.view
+                        writer.pwrite(payload_start + entry.offset, view)
+                        crc = zlib.crc32(view) & 0xFFFFFFFF
+                        with state_lock:
+                            tensor_crcs[index_by_offset[entry.offset]] = crc
+                    except BaseException as exc:  # noqa: BLE001 - surfaced below
+                        with state_lock:
+                            errors.append(exc)
+                    finally:
+                        self.pool.free(staged.allocation)
+
+                try:
+                    self._pwriters.submit(FlushTask(
+                        run=write_one, on_done=task_finished,
+                        description=f"{snapshot.tag}/{snapshot.shard_name}"
+                                    f"@{staged.entry.offset}"))
+                except BaseException:
+                    # The task will never run: undo its latch slot and free
+                    # its staging space before bailing out.
+                    with done_cv:
+                        pending -= 1
+                    self.pool.free(staged.allocation)
+                    raise
+            queue_drained = True
+
+            with done_cv:
+                while pending:
+                    done_cv.wait()
+
+            capture_error = snapshot.capture_error()
+            if capture_error is not None:
+                raise CheckpointError(
+                    f"snapshot capture failed mid-flush: {capture_error}"
+                ) from capture_error
+            if errors:
+                raise errors[0]
+
+            # Fold per-tensor CRCs (in file-offset order) into the whole-file
+            # checksum; identical to crc32 over the final bytes despite the
+            # out-of-order writes.
+            checksum = zlib.crc32(preamble) & 0xFFFFFFFF
+            for entry, crc in zip(header.entries, tensor_crcs):
+                assert crc is not None
+                checksum = crc32_combine(checksum, crc, entry.nbytes)
+
+            receipt = writer.commit()
+        except BaseException:
+            # Let in-flight pwrites retire before closing their fd (already-
+            # queued tasks always run; a shut-down pool only stops new work).
+            with done_cv:
+                while pending:
+                    done_cv.wait()
+            writer.abort()
+            if not queue_drained:
+                self._drain_staged(snapshot)
+            raise
+        record = ShardRecord(rank=self.rank, name=snapshot.shard_name,
+                             nbytes=receipt.nbytes, checksum=checksum,
+                             tensor_checksums=tuple(tensor_crcs))
+        return FlushResult(tag=snapshot.tag, shard_name=snapshot.shard_name,
+                           nbytes=receipt.nbytes, checksum=checksum, record=record)
+
+    def _drain_staged(self, snapshot: SnapshotJob) -> None:
+        """Consume and free every staged tensor after a setup failure, so the
+        capture thread (and the next checkpoint's allocations) never block on
+        pool space that no writer will ever release."""
+        while True:
+            staged = snapshot.staged.get()
+            if staged is None:
+                return
+            self.pool.free(staged.allocation)

@@ -60,11 +60,17 @@ class SnapshotJob:
         """Copy every tensor into the pinned pool, oldest first (runs off-thread)."""
         try:
             for ref, entry in zip(self.tensors, self.header.entries):
-                allocation = pool.allocate(entry.nbytes, blocking=True)
+                # Resolve the payload before reserving pool space so a broken
+                # reference cannot leak an allocation no flush will ever free.
                 array = np.ascontiguousarray(tensor_payload_array(ref))
-                raw = array.view(np.uint8).reshape(-1)
-                target = np.frombuffer(allocation.view, dtype=np.uint8, count=raw.nbytes)
-                np.copyto(target, raw)
+                allocation = pool.allocate(entry.nbytes, blocking=True)
+                try:
+                    raw = array.view(np.uint8).reshape(-1)
+                    target = np.frombuffer(allocation.view, dtype=np.uint8, count=raw.nbytes)
+                    np.copyto(target, raw)
+                except BaseException:
+                    pool.free(allocation)
+                    raise
                 self.staged.put(StagedTensor(entry=entry, allocation=allocation))
         except BaseException as exc:  # noqa: BLE001 - surfaced to waiters
             self._error = exc

@@ -1,6 +1,6 @@
 """Storage backends: simulated NVMe/Lustre models and the real file store."""
 
-from .filestore import FileStore, WriteReceipt
+from .filestore import FileStore, MappedShard, ShardWriter, WriteReceipt
 from .flush_workers import FlushTask, FlushWorkerPool
 from .sim_storage import (
     SimNodeLocalStorage,
@@ -11,6 +11,8 @@ from .sim_storage import (
 
 __all__ = [
     "FileStore",
+    "ShardWriter",
+    "MappedShard",
     "WriteReceipt",
     "FlushTask",
     "FlushWorkerPool",

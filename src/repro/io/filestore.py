@@ -6,11 +6,28 @@ been committed by the consolidation protocol.  Writes go to a temporary name
 and are renamed into place so that a partially-written shard can never be
 mistaken for a complete one — the on-disk analogue of the consistency
 guarantee the two-phase commit provides across ranks.
+
+Two write paths are provided:
+
+* :meth:`FileStore.write_shard` — the legacy streaming path: one sequential
+  writer consumes an iterable of chunks front to back.
+
+* :meth:`FileStore.create_shard_writer` — the fast path: an offset-addressed
+  :class:`ShardWriter` backed by ``os.pwrite``.  Because every tensor's file
+  offset is fixed up front by the shard header, multiple flush workers can
+  write one shard's tensors concurrently and out of order, each landing its
+  staged view directly at its final offset.
+
+Restores mirror the split: :meth:`FileStore.read_shard` materialises the
+whole file as ``bytes``, while :meth:`FileStore.open_shard_mmap` returns a
+:class:`MappedShard` whose pages stream in lazily and are never duplicated on
+the heap.
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import shutil
 import tempfile
@@ -27,6 +44,128 @@ class WriteReceipt:
 
     path: Path
     nbytes: int
+
+
+class ShardWriter:
+    """Offset-addressed writer for one shard file.
+
+    The backing temp file is pre-sized with ``ftruncate`` so concurrent
+    ``os.pwrite`` calls from multiple flush workers can land tensor payloads
+    at their final offsets in any order.  ``os.pwrite`` is atomic with
+    respect to the file offset, so no locking is needed between writers.
+    The same publish protocol as the streaming path applies: the file only
+    becomes visible under its final name at :meth:`commit`.
+    """
+
+    def __init__(self, directory: Path, final_path: Path, total_bytes: int,
+                 fsync: bool = False) -> None:
+        if total_bytes <= 0:
+            raise CheckpointError("shard writer needs a positive total size")
+        self.final_path = final_path
+        self.total_bytes = int(total_bytes)
+        self.fsync = fsync
+        self._committed = False
+        self._closed = False
+        fd, tmp_name = tempfile.mkstemp(prefix=f".{final_path.name}.", dir=str(directory))
+        self._fd = fd
+        self._tmp_name = tmp_name
+        try:
+            os.ftruncate(fd, self.total_bytes)
+        except BaseException:
+            self.abort()
+            raise
+
+    def pwrite(self, offset: int, data) -> int:
+        """Write ``data`` (bytes or memoryview) at ``offset``; thread-safe."""
+        if self._closed:
+            raise CheckpointError(f"shard writer for {self.final_path.name!r} is closed")
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        if view.ndim != 1 or view.itemsize != 1:
+            view = view.cast("B")
+        if offset < 0 or offset + len(view) > self.total_bytes:
+            raise CheckpointError(
+                f"pwrite [{offset}, {offset + len(view)}) outside shard of "
+                f"{self.total_bytes} bytes"
+            )
+        written = 0
+        while written < len(view):
+            written += os.pwrite(self._fd, view[written:], offset + written)
+        return written
+
+    def commit(self) -> WriteReceipt:
+        """Make the shard durable (optional fsync) and atomically publish it."""
+        if self._closed:
+            raise CheckpointError(f"shard writer for {self.final_path.name!r} is closed")
+        try:
+            if self.fsync:
+                os.fsync(self._fd)
+        finally:
+            os.close(self._fd)
+            self._closed = True
+        os.replace(self._tmp_name, self.final_path)
+        self._committed = True
+        return WriteReceipt(path=self.final_path, nbytes=self.total_bytes)
+
+    def abort(self) -> None:
+        """Discard the partially-written temp file (idempotent)."""
+        if not self._closed:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._closed = True
+        if not self._committed:
+            try:
+                os.unlink(self._tmp_name)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # No-op after commit(); otherwise discard the temp file so an
+        # uncommitted writer can never leak its fd or pre-sized file.
+        self.abort()
+
+
+class MappedShard:
+    """A read-only memory map of one shard file (zero-copy restore path).
+
+    ``data`` is the raw ``mmap.mmap`` — hand it straight to
+    ``deserialize_state``/``np.frombuffer``; arrays built with ``copy=False``
+    keep the map alive through their buffer reference, so :meth:`close` is
+    deferred to garbage collection if views are still outstanding.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        fd = os.open(str(path), os.O_RDONLY)
+        try:
+            size = os.fstat(fd).st_size
+            if size == 0:
+                raise CheckpointError(f"shard file {path} is empty, cannot mmap")
+            self.data = mmap.mmap(fd, 0, access=mmap.ACCESS_READ)
+        finally:
+            os.close(fd)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def close(self) -> None:
+        """Release the mapping; a no-op while zero-copy views still reference it."""
+        try:
+            self.data.close()
+        except BufferError:
+            # np.frombuffer views still point into the map; the mmap is
+            # released when the last view is garbage-collected.
+            pass
+
+    def __enter__(self) -> "MappedShard":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class FileStore:
@@ -51,8 +190,15 @@ class FileStore:
         return self.checkpoint_dir(tag) / "manifest.json"
 
     # -- writes ----------------------------------------------------------------
-    def write_shard(self, tag: str, shard_name: str, chunks: Iterable[bytes]) -> WriteReceipt:
-        """Write a shard from an iterable of byte chunks (streaming friendly)."""
+    def write_shard(self, tag: str, shard_name: str,
+                    chunks: Iterable[Union[bytes, memoryview]]) -> WriteReceipt:
+        """Write a shard from an iterable of byte chunks (streaming friendly).
+
+        Chunks may be ``bytes`` or zero-copy ``memoryview`` slices of a
+        staging buffer; each chunk is fully written before the next one is
+        pulled from the iterable, so views may be recycled by the producer as
+        soon as the following chunk is requested.
+        """
         directory = self.checkpoint_dir(tag)
         directory.mkdir(parents=True, exist_ok=True)
         final_path = self.shard_path(tag, shard_name)
@@ -62,7 +208,7 @@ class FileStore:
             with os.fdopen(fd, "wb") as handle:
                 for chunk in chunks:
                     handle.write(chunk)
-                    nbytes += len(chunk)
+                    nbytes += chunk.nbytes if isinstance(chunk, memoryview) else len(chunk)
                 handle.flush()
                 if self.fsync:
                     os.fsync(handle.fileno())
@@ -75,6 +221,18 @@ class FileStore:
             raise
         return WriteReceipt(path=final_path, nbytes=nbytes)
 
+    def create_shard_writer(self, tag: str, shard_name: str, total_bytes: int) -> ShardWriter:
+        """Open an offset-addressed :class:`ShardWriter` for parallel pwrites.
+
+        ``total_bytes`` must be the exact final file size (preamble plus the
+        header's ``payload_bytes``), known up front because the shard header
+        fixes every tensor's file offset before any payload is copied.
+        """
+        directory = self.checkpoint_dir(tag)
+        directory.mkdir(parents=True, exist_ok=True)
+        return ShardWriter(directory, self.shard_path(tag, shard_name),
+                           total_bytes, fsync=self.fsync)
+
     def write_manifest(self, tag: str, manifest: Dict) -> Path:
         """Atomically publish the commit manifest for checkpoint ``tag``."""
         directory = self.checkpoint_dir(tag)
@@ -82,12 +240,19 @@ class FileStore:
         path = self.manifest_path(tag)
         payload = json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8")
         fd, tmp_name = tempfile.mkstemp(prefix=".manifest.", dir=str(directory))
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     # -- reads ---------------------------------------------------------------------
@@ -97,6 +262,13 @@ class FileStore:
         if not path.exists():
             raise CheckpointError(f"shard {shard_name!r} of checkpoint {tag!r} does not exist")
         return path.read_bytes()
+
+    def open_shard_mmap(self, tag: str, shard_name: str) -> MappedShard:
+        """Memory-map one shard file for zero-copy restore."""
+        path = self.shard_path(tag, shard_name)
+        if not path.exists():
+            raise CheckpointError(f"shard {shard_name!r} of checkpoint {tag!r} does not exist")
+        return MappedShard(path)
 
     def read_manifest(self, tag: str) -> Dict:
         """Read back the commit manifest of checkpoint ``tag``."""

@@ -61,6 +61,16 @@ class FlushWorkerPool:
         """Approximate number of queued-but-not-started tasks."""
         return self._queue.qsize()
 
+    @property
+    def num_workers(self) -> int:
+        """Size of the worker pool (e.g. the degree of pwrite parallelism)."""
+        return len(self._workers)
+
+    @property
+    def unfinished(self) -> int:
+        """Tasks submitted but not yet completed (queued + in flight)."""
+        return self._queue.unfinished_tasks
+
     # -- synchronisation ---------------------------------------------------------
     def drain(self) -> None:
         """Block until every submitted task has completed."""

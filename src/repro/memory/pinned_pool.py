@@ -57,6 +57,8 @@ class PinnedHostPool:
         self._lock = threading.Lock()
         self._space_freed = threading.Condition(self._lock)
         self._closed = False
+        self._peak_used = 0
+        self._blocked_waits = 0
 
     # -- inspection ---------------------------------------------------------
     @property
@@ -64,6 +66,19 @@ class PinnedHostPool:
         """Bytes currently reserved."""
         with self._lock:
             return self._manager.used_bytes
+
+    @property
+    def peak_used_bytes(self) -> int:
+        """High-water mark of reserved bytes since construction/reset."""
+        with self._lock:
+            return self._peak_used
+
+    @property
+    def blocked_waits(self) -> int:
+        """How many times an allocation had to wait for flushes to free space
+        (the back-pressure events of §5.1); benchmark/diagnostic counter."""
+        with self._lock:
+            return self._blocked_waits
 
     @property
     def free_bytes(self) -> int:
@@ -99,10 +114,13 @@ class PinnedHostPool:
                 except AllocationError:
                     if not blocking:
                         raise
+                    self._blocked_waits += 1
                     if not self._space_freed.wait(timeout=timeout):
                         raise AllocationError(
                             f"timed out waiting for {size} bytes of pinned host memory"
                         )
+            if self._manager.used_bytes > self._peak_used:
+                self._peak_used = self._manager.used_bytes
             view = memoryview(self._backing)[segment.offset : segment.offset + size]
             return HostAllocation(segment=segment, view=view)
 
@@ -123,4 +141,6 @@ class PinnedHostPool:
         with self._lock:
             self._manager.reset()
             self._closed = False
+            self._peak_used = 0
+            self._blocked_waits = 0
             self._space_freed.notify_all()

@@ -5,6 +5,17 @@ torn checkpoint left behind by a crash mid-flush and is ignored (or can be
 garbage-collected with :meth:`CheckpointLoader.prune_uncommitted`).  Shard
 files are validated against the manifest's size and CRC32 before their
 contents are handed back to the trainer.
+
+By default shards are restored through a read-only mmap (``use_mmap=True``):
+the CRC32 is verified by streaming over the map in bounded chunks and the
+arrays are rebuilt as ``np.frombuffer`` views straight out of it, so a
+multi-hundred-MB shard is validated and loaded without ever holding a second
+full copy of it in heap memory.  ``materialize=True`` (the default) copies
+each array out of the map one tensor at a time so the result is writable and
+the map can be released; ``materialize=False`` hands back zero-copy read-only
+views that keep the map alive.  Validation and loading happen in one pass
+over each shard — ``load_all(validate=True)`` no longer reads every shard
+twice.
 """
 
 from __future__ import annotations
@@ -15,7 +26,13 @@ from typing import Any, Dict, List, Optional
 from ..exceptions import ConsistencyError, RestartError
 from ..io import FileStore
 from ..logging_utils import get_logger
-from ..serialization import CheckpointManifest, checksum_bytes, deserialize_state
+from ..serialization import (
+    CheckpointManifest,
+    ShardRecord,
+    checksum_stream,
+    decode_preamble,
+    deserialize_state,
+)
 
 logger = get_logger(__name__)
 
@@ -34,9 +51,12 @@ class CheckpointInfo:
 class CheckpointLoader:
     """Reads committed checkpoints back from a :class:`FileStore`."""
 
-    def __init__(self, store: FileStore, verify_checksums: bool = True) -> None:
+    def __init__(self, store: FileStore, verify_checksums: bool = True,
+                 use_mmap: bool = True, materialize: bool = True) -> None:
         self.store = store
         self.verify_checksums = verify_checksums
+        self.use_mmap = bool(use_mmap and callable(getattr(store, "open_shard_mmap", None)))
+        self.materialize = materialize
 
     # -- discovery ---------------------------------------------------------
     def committed_checkpoints(self) -> List[CheckpointInfo]:
@@ -74,19 +94,59 @@ class CheckpointLoader:
         manifest = self.manifest(tag)
         manifest.validate_complete()
         for record in manifest.shards:
-            raw = self.store.read_shard(tag, record.name)
-            if len(raw) != record.nbytes:
-                raise ConsistencyError(
-                    f"shard {record.name!r} of {tag!r} has {len(raw)} bytes, "
-                    f"manifest says {record.nbytes}"
-                )
-            if self.verify_checksums and record.checksum is not None:
-                actual = checksum_bytes(raw)
-                if actual != record.checksum:
-                    raise ConsistencyError(
-                        f"shard {record.name!r} of {tag!r} failed its checksum"
-                    )
+            if self.use_mmap:
+                with self.store.open_shard_mmap(tag, record.name) as mapped:
+                    self._check_record(tag, record, mapped.data)
+            else:
+                self._check_record(tag, record, self.store.read_shard(tag, record.name))
         return manifest
+
+    def _check_record(self, tag: str, record: ShardRecord, buffer) -> None:
+        """Size + CRC32 validation of one shard against its manifest record.
+
+        ``buffer`` may be heap bytes or an mmap; the checksum pass streams
+        over it in bounded chunks either way.
+        """
+        if len(buffer) != record.nbytes:
+            raise ConsistencyError(
+                f"shard {record.name!r} of {tag!r} has {len(buffer)} bytes, "
+                f"manifest says {record.nbytes}"
+            )
+        if self.verify_checksums and record.checksum is not None:
+            if checksum_stream(buffer) != record.checksum:
+                raise ConsistencyError(
+                    f"shard {record.name!r} of {tag!r} failed its checksum"
+                )
+
+    def verify_tensor_checksums(self, tag: str, record: ShardRecord) -> None:
+        """Validate each tensor payload against the per-tensor CRC32 records
+        written by the parallel flush path, pinpointing corruption to a key."""
+        if record.tensor_checksums is None:
+            raise RestartError(
+                f"shard {record.name!r} of {tag!r} carries no per-tensor checksums"
+            )
+        if self.use_mmap:
+            with self.store.open_shard_mmap(tag, record.name) as mapped:
+                self._verify_entries(tag, record, mapped.data)
+        else:
+            self._verify_entries(tag, record, self.store.read_shard(tag, record.name))
+
+    def _verify_entries(self, tag: str, record: ShardRecord, buffer) -> None:
+        view = memoryview(buffer)
+        header, _skeleton, payload_start = decode_preamble(buffer)
+        if len(header.entries) != len(record.tensor_checksums):
+            raise ConsistencyError(
+                f"shard {record.name!r} of {tag!r} has {len(header.entries)} tensors "
+                f"but {len(record.tensor_checksums)} checksum records"
+            )
+        for entry, expected in zip(header.entries, record.tensor_checksums):
+            start = payload_start + entry.offset
+            actual = checksum_stream(view[start : start + entry.nbytes])
+            if actual != expected:
+                raise ConsistencyError(
+                    f"tensor {entry.key!r} of shard {record.name!r} ({tag!r}) "
+                    f"failed its checksum"
+                )
 
     # -- loading ----------------------------------------------------------------------
     def load_rank(self, tag: str, rank: int) -> Any:
@@ -100,27 +160,46 @@ class CheckpointLoader:
         return {record.name: self._load_shard(tag, record) for record in records}
 
     def load_all(self, tag: str, validate: bool = True) -> Dict[int, Any]:
-        """Load the state of every rank; optionally validate first."""
-        manifest = self.validate(tag) if validate else self.manifest(tag)
+        """Load the state of every rank; optionally validate first.
+
+        Validation is folded into the load: the manifest is checked for
+        completeness and each shard's size/CRC32 is verified on the same
+        buffer the arrays are rebuilt from, so every shard is read (or
+        mapped) exactly once instead of once for validation and once for
+        loading.
+        """
+        manifest = self.manifest(tag)
+        if validate:
+            manifest.validate_complete()
         result: Dict[int, Any] = {}
         for rank in sorted({record.rank for record in manifest.shards}):
             result[rank] = self.load_rank(tag, rank)
         return result
 
     def _load_shard(self, tag: str, record) -> Any:
+        if self.use_mmap:
+            return self._load_shard_mmap(tag, record)
         raw = self.store.read_shard(tag, record.name)
-        if len(raw) != record.nbytes:
-            raise ConsistencyError(
-                f"shard {record.name!r} of {tag!r} is truncated "
-                f"({len(raw)} of {record.nbytes} bytes)"
-            )
-        if self.verify_checksums and record.checksum is not None:
-            if checksum_bytes(raw) != record.checksum:
-                raise ConsistencyError(f"shard {record.name!r} of {tag!r} failed its checksum")
+        self._check_record(tag, record, raw)
         try:
             return deserialize_state(raw)
         except Exception as exc:
             raise RestartError(f"cannot deserialize shard {record.name!r} of {tag!r}: {exc}") from exc
+
+    def _load_shard_mmap(self, tag: str, record) -> Any:
+        mapped = self.store.open_shard_mmap(tag, record.name)
+        try:
+            self._check_record(tag, record, mapped.data)
+            try:
+                return deserialize_state(mapped.data, copy=self.materialize)
+            except Exception as exc:
+                raise RestartError(
+                    f"cannot deserialize shard {record.name!r} of {tag!r}: {exc}"
+                ) from exc
+        finally:
+            # With materialize=False the arrays are views into the map: close()
+            # defers to garbage collection while any view is alive.
+            mapped.close()
 
     # -- housekeeping --------------------------------------------------------------------
     def prune_uncommitted(self) -> List[str]:

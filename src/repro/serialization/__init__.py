@@ -9,11 +9,15 @@ from .header import (
     encode_preamble,
     preamble_size,
 )
+from .checksum import checksum_stream, crc32_combine, fold_section_checksums
 from .manifest import CheckpointManifest, ShardRecord, checksum_bytes
 from .reader import deserialize_state, peek_tensor_keys
 from .writer import iter_shard_chunks, serialize_object, serialize_state
 
 __all__ = [
+    "crc32_combine",
+    "fold_section_checksums",
+    "checksum_stream",
     "MAGIC",
     "TensorEntry",
     "ShardHeader",

@@ -121,18 +121,24 @@ def encode_preamble(header: ShardHeader, skeleton: bytes) -> bytes:
     )
 
 
-def decode_preamble(raw: bytes) -> Tuple[ShardHeader, bytes, int]:
-    """Parse the preamble; returns (header, skeleton bytes, payload start offset)."""
+def decode_preamble(raw) -> Tuple[ShardHeader, bytes, int]:
+    """Parse the preamble; returns (header, skeleton bytes, payload start offset).
+
+    ``raw`` may be any bytes-like object — ``bytes``, ``memoryview``, or an
+    ``mmap.mmap`` of the shard file.  Only the (small) header and skeleton
+    regions are ever copied out of the buffer; the tensor payload region is
+    untouched, which is what keeps the mmap restore path zero-copy.
+    """
     if len(raw) < len(MAGIC) + _U64.size:
         raise SerializationError("shard file too small to contain a header")
-    if raw[: len(MAGIC)] != MAGIC:
+    if bytes(raw[: len(MAGIC)]) != MAGIC:
         raise SerializationError("bad magic: not a DataStates shard file")
     cursor = len(MAGIC)
     (header_len,) = _U64.unpack_from(raw, cursor)
     cursor += _U64.size
     if cursor + header_len > len(raw):
         raise SerializationError("truncated shard header")
-    header = ShardHeader.from_bytes(raw[cursor : cursor + header_len])
+    header = ShardHeader.from_bytes(bytes(raw[cursor : cursor + header_len]))
     cursor += header_len
     if cursor + _U64.size > len(raw):
         raise SerializationError("truncated shard skeleton length")
@@ -140,7 +146,7 @@ def decode_preamble(raw: bytes) -> Tuple[ShardHeader, bytes, int]:
     cursor += _U64.size
     if cursor + skeleton_len > len(raw):
         raise SerializationError("truncated shard skeleton")
-    skeleton = raw[cursor : cursor + skeleton_len]
+    skeleton = bytes(raw[cursor : cursor + skeleton_len])
     cursor += skeleton_len
     return header, skeleton, cursor
 

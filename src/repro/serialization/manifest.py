@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ConsistencyError
 
@@ -24,19 +24,31 @@ class ShardRecord:
     name: str
     nbytes: int
     checksum: Optional[int] = None
+    #: Per-tensor payload CRC32s, ordered like the shard header's tensor
+    #: table.  Written by the parallel (out-of-order pwrite) flush path, which
+    #: checksums each tensor on its staged view; the whole-file ``checksum``
+    #: above is folded from these, and the restart path can use them to
+    #: pinpoint which tensor of a corrupt shard went bad.
+    tensor_checksums: Optional[Tuple[int, ...]] = None
 
     def to_json(self) -> Dict:
         """JSON-serialisable form."""
-        return {"rank": self.rank, "name": self.name, "nbytes": self.nbytes, "checksum": self.checksum}
+        payload = {"rank": self.rank, "name": self.name, "nbytes": self.nbytes, "checksum": self.checksum}
+        if self.tensor_checksums is not None:
+            payload["tensor_checksums"] = list(self.tensor_checksums)
+        return payload
 
     @staticmethod
     def from_json(data: Dict) -> "ShardRecord":
         """Inverse of :meth:`to_json`."""
+        tensor_checksums = data.get("tensor_checksums")
         return ShardRecord(
             rank=int(data["rank"]),
             name=str(data["name"]),
             nbytes=int(data["nbytes"]),
             checksum=None if data.get("checksum") is None else int(data["checksum"]),
+            tensor_checksums=None if tensor_checksums is None
+            else tuple(int(x) for x in tensor_checksums),
         )
 
 

@@ -1,4 +1,15 @@
-"""Shard deserialization (restart path)."""
+"""Shard deserialization (restart path).
+
+:func:`deserialize_state` accepts any bytes-like buffer — a ``bytes`` object
+read the classic way, a ``memoryview``, or an ``mmap.mmap`` of the shard file
+— and, with ``copy=False``, rebuilds every array as a zero-copy
+``np.frombuffer`` view into that buffer.  The views keep the underlying
+buffer alive, so an mmap-backed load never materialises a second full copy of
+the shard in heap memory; pages stream in from the page cache on first
+touch.  With ``copy=True`` (the default) each array is materialised
+one-at-a-time into fresh writable memory, so peak extra heap usage is one
+tensor, not one shard.
+"""
 
 from __future__ import annotations
 
@@ -12,8 +23,13 @@ from ..tensor import unflatten_state_dict
 from .header import decode_preamble
 
 
-def deserialize_state(raw: bytes) -> Any:
-    """Rebuild the original nested state dict from shard-file bytes."""
+def deserialize_state(raw, copy: bool = True) -> Any:
+    """Rebuild the original nested state dict from shard-file bytes.
+
+    ``copy=False`` returns read-only array views backed by ``raw`` (opt-in
+    zero-copy restore); the caller must keep the buffer open for as long as
+    the arrays live.  ``copy=True`` returns independent writable arrays.
+    """
     header, skeleton_bytes, payload_start = decode_preamble(raw)
     expected_end = payload_start + header.payload_bytes
     if len(raw) < expected_end:
@@ -28,16 +44,18 @@ def deserialize_state(raw: bytes) -> Any:
     arrays: List[np.ndarray] = []
     for entry in header.entries:
         start = payload_start + entry.offset
-        stop = start + entry.nbytes
-        buffer = raw[start:stop]
-        if len(buffer) != entry.nbytes:
+        if start + entry.nbytes > expected_end:
             raise SerializationError(f"payload for {entry.key!r} is truncated")
-        array = np.frombuffer(buffer, dtype=np.dtype(entry.dtype)).reshape(entry.shape).copy()
+        dtype = np.dtype(entry.dtype)
+        count = entry.nbytes // dtype.itemsize
+        array = np.frombuffer(raw, dtype=dtype, count=count, offset=start).reshape(entry.shape)
+        if copy:
+            array = array.copy()
         arrays.append(array)
     return unflatten_state_dict(skeleton, arrays)
 
 
-def peek_tensor_keys(raw: bytes) -> List[str]:
+def peek_tensor_keys(raw) -> List[str]:
     """List the tensor keys stored in a shard without materialising payloads."""
     header, _skeleton, _payload_start = decode_preamble(raw)
     return [entry.key for entry in header.entries]

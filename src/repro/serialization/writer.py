@@ -15,7 +15,7 @@ Two paths are provided:
 from __future__ import annotations
 
 import pickle
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -41,12 +41,15 @@ def iter_shard_chunks(
     skeleton: bytes,
     payload_views: Sequence[memoryview],
     chunk_size: int = 8 * 1024 * 1024,
-) -> Iterator[bytes]:
+) -> Iterator[Union[bytes, memoryview]]:
     """Yield the shard file as byte chunks from pre-staged payload views.
 
     ``payload_views[i]`` must hold exactly the bytes of the i-th tensor entry
     of ``header`` (typically a slice of the pinned staging pool that a
-    background copy has already filled).
+    background copy has already filled).  Payload chunks are yielded as
+    zero-copy ``memoryview`` slices of the staging buffer — the bytes go from
+    pinned pool to kernel without an intermediate heap copy; consumers must
+    finish with each chunk before requesting the next (file writes do).
     """
     if len(payload_views) != len(header.entries):
         raise SerializationError(
@@ -62,7 +65,7 @@ def iter_shard_chunks(
             )
         for start in range(0, entry.nbytes, chunk_size):
             stop = min(start + chunk_size, entry.nbytes)
-            yield bytes(view[start:stop])
+            yield view[start:stop]
 
 
 def serialize_object(obj: object) -> bytes:

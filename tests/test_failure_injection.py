@@ -33,6 +33,9 @@ class _BrokenStore(FileStore):
             pass
         raise OSError("no space left on device")
 
+    def create_shard_writer(self, tag, shard_name, total_bytes):  # noqa: D102
+        raise OSError("no space left on device")
+
 
 def test_flush_failure_surfaces_to_caller(tmp_path):
     store = _BrokenStore(tmp_path)
