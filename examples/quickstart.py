@@ -1,63 +1,70 @@
 #!/usr/bin/env python
 """Quickstart: train a small transformer with lazy asynchronous checkpointing.
 
-Demonstrates the real-mode engine end to end:
+Demonstrates the real-mode engine API end to end:
 
-1. build a tiny NumPy transformer and the DataStates checkpoint engine;
+1. pick an engine from the registry by name — ``create_real_engine(name,
+   store)`` accepts ``"deepspeed"``/``"sync"``, ``"async"``/``"checkfreq"``,
+   ``"torchsnapshot"``, and ``"datastates"`` (the four baselines of §6.2);
 2. train for a few iterations, checkpointing every other iteration — the
-   engine captures model + optimizer state in the background while the next
-   iteration's forward/backward runs;
-3. wait for all flushes/commits, then restore the latest checkpoint and show
-   that training resumes from exactly where it left off.
+   DataStates engine captures model + optimizer state in the background while
+   the next iteration's forward/backward runs;
+3. wait for all flushes/commits, then restore the latest checkpoint through
+   the same engine protocol and show that training resumes from exactly
+   where it left off.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py [engine-name]
 """
 
 from __future__ import annotations
 
+import sys
 import tempfile
 
 import numpy as np
 
-from repro import CheckpointLoader, DataStatesCheckpointEngine, FileStore
+from repro import CheckpointLoader, FileStore, create_real_engine
 from repro.model import NumpyTransformerLM, tiny_config
 from repro.training import RealTrainer
 
 
 def main() -> None:
-    workdir = tempfile.mkdtemp(prefix="datastates-quickstart-")
+    engine_name = sys.argv[1] if len(sys.argv) > 1 else "datastates"
+    workdir = tempfile.mkdtemp(prefix=f"{engine_name}-quickstart-")
     store = FileStore(workdir)
 
     # 64 MiB of "pinned" host staging buffer is plenty for the tiny model.
-    engine = DataStatesCheckpointEngine(store, host_buffer_size=64 << 20)
-    model = NumpyTransformerLM(tiny_config(hidden_size=64, num_layers=2), seed=0)
-    trainer = RealTrainer(model, engine=engine)
+    with create_real_engine(engine_name, store, host_buffer_size=64 << 20) as engine:
+        model = NumpyTransformerLM(tiny_config(hidden_size=64, num_layers=2), seed=0)
+        trainer = RealTrainer(model, engine=engine)
 
-    print(f"training a {model.num_parameters():,}-parameter model, checkpoints -> {workdir}")
-    report = trainer.train(iterations=8, checkpoint_interval=2)
-    engine.wait_all()
+        print(f"training a {model.num_parameters():,}-parameter model under "
+              f"{engine.name!r}, checkpoints -> {workdir}")
+        report = trainer.train(iterations=8, checkpoint_interval=2)
+        engine.wait_all()
 
-    print("\niteration  loss      ckpt  blocked(ms)")
-    for step in report.steps:
-        print(f"{step.iteration:9d}  {step.loss:.4f}  {'yes' if step.checkpointed else '   '}"
-              f"  {step.checkpoint_block_seconds * 1e3:10.2f}")
+        print("\niteration  loss      ckpt  blocked(ms)")
+        for step in report.steps:
+            print(f"{step.iteration:9d}  {step.loss:.4f}  {'yes' if step.checkpointed else '   '}"
+                  f"  {step.checkpoint_block_seconds * 1e3:10.2f}")
 
-    loader = CheckpointLoader(store)
-    latest = loader.latest()
-    assert latest is not None
-    print(f"\ncommitted checkpoints: {[info.tag for info in loader.committed_checkpoints()]}")
-    print(f"restoring {latest.tag} (iteration {latest.iteration}) ...")
+        print(f"\ncommitted checkpoints: {engine.list_checkpoints()}")
+        latest = engine.latest_checkpoint()
+        assert latest is not None
+        print(f"restoring {latest} through the engine protocol ...")
 
-    restored_model = NumpyTransformerLM(tiny_config(hidden_size=64, num_layers=2), seed=123)
-    restored = RealTrainer(restored_model, engine=None)
-    restored.resume_from(loader)
-    match = all(
-        np.array_equal(restored_model.params[name], trainer.model.params[name])
-        for name in trainer.model.params
-    )
-    print(f"restored iteration: {restored.iteration}; parameters identical: {match}")
+        restored_model = NumpyTransformerLM(tiny_config(hidden_size=64, num_layers=2), seed=123)
+        restored = RealTrainer(restored_model, engine=None)
+        restored.resume_from(engine)   # any CheckpointEngine or CheckpointLoader works
+        match = all(
+            np.array_equal(restored_model.params[name], trainer.model.params[name])
+            for name in trainer.model.params
+        )
+        print(f"restored iteration: {restored.iteration}; parameters identical: {match}")
 
-    engine.shutdown()
+        # The standalone loader sees the same checkpoints (shared restore path).
+        loader = CheckpointLoader(store)
+        assert [info.tag for info in loader.committed_checkpoints()] == engine.list_checkpoints()
 
 
 if __name__ == "__main__":

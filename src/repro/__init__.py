@@ -13,15 +13,19 @@ The library has two halves that share one design:
 
 Quickstart (real mode)::
 
-    from repro import DataStatesCheckpointEngine, FileStore
+    from repro import FileStore, create_real_engine
     from repro.model import NumpyTransformerLM, tiny_config
     from repro.training import RealTrainer
 
     store = FileStore("/tmp/ckpts")
-    engine = DataStatesCheckpointEngine(store, host_buffer_size=64 << 20)
-    trainer = RealTrainer(NumpyTransformerLM(tiny_config()), engine=engine)
-    trainer.train(iterations=5, checkpoint_interval=2)
-    engine.wait_all()
+    with create_real_engine("datastates", store) as engine:
+        trainer = RealTrainer(NumpyTransformerLM(tiny_config()), engine=engine)
+        trainer.train(iterations=5, checkpoint_interval=2)
+        engine.wait_all()
+
+Any of the four paper baselines plugs into the same protocol:
+``create_real_engine(name, store)`` with name ``"deepspeed"``/``"sync"``,
+``"async"``/``"checkfreq"``, ``"torchsnapshot"``, or ``"datastates"``.
 
 Quickstart (simulation mode)::
 
@@ -31,7 +35,17 @@ Quickstart (simulation mode)::
 """
 
 from .config import CheckpointPolicy, PlatformSpec, RunConfig
-from .core import DataStatesCheckpointEngine, SynchronousCheckpointEngine, TwoPhaseCommitCoordinator
+from .core import (
+    AsyncCheckpointEngine,
+    CheckpointEngine,
+    DataStatesCheckpointEngine,
+    SynchronousCheckpointEngine,
+    TorchSnapshotCheckpointEngine,
+    TwoPhaseCommitCoordinator,
+    available_real_engines,
+    create_real_engine,
+    register_real_engine,
+)
 from .exceptions import (
     AllocationError,
     CapacityError,
@@ -56,9 +70,15 @@ __all__ = [
     "PlatformSpec",
     "CheckpointPolicy",
     "RunConfig",
+    "CheckpointEngine",
     "DataStatesCheckpointEngine",
     "SynchronousCheckpointEngine",
+    "AsyncCheckpointEngine",
+    "TorchSnapshotCheckpointEngine",
     "TwoPhaseCommitCoordinator",
+    "create_real_engine",
+    "register_real_engine",
+    "available_real_engines",
     "FileStore",
     "CheckpointLoader",
     "CheckpointInfo",

@@ -23,6 +23,7 @@ from .metrics import (
     relative_error,
     throughput_speedups,
 )
+from .real_compare import compare_real_engines, comparison_table_rows, run_real_engine
 from .report import format_comparison, format_table, print_rows
 
 __all__ = [
@@ -48,4 +49,7 @@ __all__ = [
     "format_table",
     "format_comparison",
     "print_rows",
+    "run_real_engine",
+    "compare_real_engines",
+    "comparison_table_rows",
 ]

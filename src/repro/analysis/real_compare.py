@@ -1,0 +1,96 @@
+"""Run the real-mode trainer under each registered engine and compare stalls.
+
+The real-mode counterpart of the Figure 7/8 comparison: the same tiny NumPy
+transformer is trained under every engine name, and the training-visible
+checkpoint stall (consistency gate + save-request time) is reported per
+engine.  Shared by ``repro compare-real``, the
+``examples/real_engine_comparison.py`` walkthrough, and the
+``BENCH_real_engines.json`` benchmark sweep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..config import CheckpointPolicy
+from ..core import ENGINE_LABELS, ENGINE_NAMES, canonical_engine_name, create_real_engine
+from ..io import FileStore
+from ..model import NumpyTransformerLM, tiny_config
+from ..training import RealTrainer
+
+
+def run_real_engine(
+    engine_name: str,
+    workdir: Union[str, Path],
+    iterations: int = 4,
+    checkpoint_interval: int = 1,
+    hidden_size: int = 128,
+    num_layers: int = 2,
+    seed: int = 0,
+    policy: Optional[CheckpointPolicy] = None,
+) -> Dict[str, object]:
+    """Train under one engine and measure its per-iteration blocked time."""
+    name = canonical_engine_name(engine_name)
+    store = FileStore(Path(workdir) / name)
+    engine = create_real_engine(name, store, policy=policy)
+    with engine:
+        model = NumpyTransformerLM(
+            tiny_config(hidden_size=hidden_size, num_layers=num_layers), seed=seed
+        )
+        trainer = RealTrainer(model, engine=engine)
+        report = trainer.train(iterations=iterations,
+                               checkpoint_interval=checkpoint_interval)
+        engine.wait_all()
+        committed = engine.list_checkpoints()
+    return {
+        "engine": name,
+        "label": ENGINE_LABELS.get(name, name),
+        "checkpoint_dir": str(store.root),
+        "iterations": len(report.steps),
+        "checkpoints": len(report.checkpoints),
+        "committed": len(committed),
+        "compute_seconds": report.total_compute_seconds,
+        "blocked_seconds": report.total_checkpoint_block_seconds,
+        # Median per iteration is the headline comparison number: it is
+        # robust against scheduler-contention spikes on small hosts, where a
+        # single stolen quantum would otherwise dominate the mean.
+        "blocked_ms_per_iteration": report.median_blocked_seconds_per_iteration * 1e3,
+        "blocked_ms_per_iteration_mean": report.blocked_seconds_per_iteration * 1e3,
+    }
+
+
+def compare_real_engines(
+    workdir: Union[str, Path],
+    engines: Optional[Sequence[str]] = None,
+    iterations: int = 4,
+    checkpoint_interval: int = 1,
+    hidden_size: int = 128,
+    num_layers: int = 2,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Per-engine blocked-time rows for every (or the given) engine name."""
+    rows = []
+    for engine_name in engines or ENGINE_NAMES:
+        rows.append(run_real_engine(
+            engine_name, workdir,
+            iterations=iterations, checkpoint_interval=checkpoint_interval,
+            hidden_size=hidden_size, num_layers=num_layers, seed=seed,
+        ))
+    return rows
+
+
+def comparison_table_rows(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rounded, display-friendly version of :func:`compare_real_engines` rows."""
+    return [
+        {
+            "engine": row["engine"],
+            "label": row["label"],
+            "ckpts": row["checkpoints"],
+            "blocked_ms_per_iter": round(float(row["blocked_ms_per_iteration"]), 3),
+            "blocked_ms_mean": round(float(row["blocked_ms_per_iteration_mean"]), 3),
+            "blocked_total_s": round(float(row["blocked_seconds"]), 4),
+            "compute_s": round(float(row["compute_seconds"]), 4),
+        }
+        for row in rows
+    ]

@@ -1,17 +1,19 @@
-"""Engine registry and factory.
+"""Simulated-engine registry and factory.
 
 Engines are selected by name (mirroring the ``checkpoint_engine`` attribute
-of a DeepSpeed configuration file, §5.2).  The four canonical names map to
-the approaches compared in §6.2 of the paper; aliases are accepted for
-convenience.
+of a DeepSpeed configuration file, §5.2).  The canonical names, aliases, and
+display labels live in :mod:`repro.core.registry` — the **single** name table
+shared with the real-mode factory (:func:`repro.core.create_real_engine`) —
+so a name means the same engine in the simulator and over real NumPy state.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Type
+from typing import Dict, List, Optional, Type
 
 from ..cluster import SimCluster
 from ..config import CheckpointPolicy
+from ..core.registry import ENGINE_ALIASES, ENGINE_LABELS, ENGINE_NAMES, canonical_engine_name
 from ..exceptions import ConfigurationError
 from ..parallelism import CheckpointPlan
 from ..simulator import Environment, TraceRecorder
@@ -21,27 +23,20 @@ from .datastates_engine import DataStatesEngine
 from .sync_engine import SynchronousEngine
 from .torchsnapshot_engine import TorchSnapshotEngine
 
-#: Canonical engine names, in the order the paper's figures list them.
-ENGINE_NAMES: List[str] = ["deepspeed", "async", "torchsnapshot", "datastates"]
+__all__ = [
+    "ENGINE_NAMES",
+    "ENGINE_LABELS",
+    "available_engines",
+    "resolve_engine_class",
+    "create_engine",
+    "register_engine",
+]
 
 _REGISTRY: Dict[str, Type[SimCheckpointEngine]] = {
     "deepspeed": SynchronousEngine,
-    "deepspeed-sync": SynchronousEngine,
-    "sync": SynchronousEngine,
     "async": AsynchronousEngine,
-    "async-checkfreq": AsynchronousEngine,
-    "checkfreq": AsynchronousEngine,
     "torchsnapshot": TorchSnapshotEngine,
     "datastates": DataStatesEngine,
-    "datastates-llm": DataStatesEngine,
-}
-
-#: Display labels used in figure/report output.
-ENGINE_LABELS: Dict[str, str] = {
-    "deepspeed": "DeepSpeed (sync)",
-    "async": "Async. ckpt (CheckFreq-like)",
-    "torchsnapshot": "TorchSnapshot",
-    "datastates": "DataStates-LLM",
 }
 
 
@@ -51,13 +46,27 @@ def available_engines() -> List[str]:
 
 
 def resolve_engine_class(name: str) -> Type[SimCheckpointEngine]:
-    """Look up an engine class by (possibly aliased) name."""
+    """Look up a simulated engine class by (possibly aliased) name.
+
+    An exact registry entry wins over alias resolution, so custom engines
+    registered under any name — including an alias like ``"sync"`` — are
+    honoured rather than silently shadowed by the canonical mapping.
+    """
     key = name.strip().lower()
-    if key not in _REGISTRY:
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    try:
+        canonical = canonical_engine_name(key)
+    except ConfigurationError:
         raise ConfigurationError(
-            f"unknown checkpoint engine {name!r}; known engines: {sorted(set(_REGISTRY))}"
+            f"unknown checkpoint engine {name!r}; known engines: "
+            f"{sorted(set(ENGINE_ALIASES) | set(_REGISTRY))}"
+        ) from None
+    if canonical not in _REGISTRY:
+        raise ConfigurationError(
+            f"engine {name!r} has no simulated implementation registered"
         )
-    return _REGISTRY[key]
+    return _REGISTRY[canonical]
 
 
 def create_engine(
@@ -69,16 +78,16 @@ def create_engine(
     trace: Optional[TraceRecorder] = None,
     **engine_kwargs,
 ) -> SimCheckpointEngine:
-    """Instantiate an engine by name."""
+    """Instantiate a simulated engine by name."""
     engine_class = resolve_engine_class(name)
     return engine_class(env, cluster, plan, policy, trace, **engine_kwargs)
 
 
 def register_engine(name: str, engine_class: Type[SimCheckpointEngine]) -> None:
-    """Register a custom engine implementation under a new name."""
+    """Register a custom simulated engine implementation under a new name."""
     key = name.strip().lower()
     if not key:
         raise ConfigurationError("engine name must be non-empty")
-    if not issubclass(engine_class, SimCheckpointEngine):
+    if not (isinstance(engine_class, type) and issubclass(engine_class, SimCheckpointEngine)):
         raise ConfigurationError("engine_class must derive from SimCheckpointEngine")
     _REGISTRY[key] = engine_class

@@ -2,22 +2,28 @@
 
 Subcommands
 -----------
-``simulate``   run one simulated training configuration and print its metrics
-``figure``     regenerate one of the paper's figures (3, 4, 7, 8, 9, 10, 11, 12)
-``zoo``        print the Table 1 model zoo
+``simulate``      run one simulated training configuration and print its metrics
+``figure``        regenerate one of the paper's figures (3, 4, 7, 8, 9, 10, 11, 12)
+``zoo``           print the Table 1 model zoo
+``train``         train the real NumPy transformer under any checkpoint engine
+``compare-real``  run the real trainer under all four engines; print blocked-time table
 
-These are thin wrappers over :mod:`repro.training.runtime` and
-:mod:`repro.analysis.figures`, useful for quick exploration without writing a
-script.
+``simulate``/``figure``/``zoo`` are thin wrappers over
+:mod:`repro.training.runtime` and :mod:`repro.analysis.figures`; ``train`` and
+``compare-real`` drive the real-mode pipeline through the engine registry
+(:func:`repro.core.create_real_engine`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from typing import List, Optional
 
 from .analysis import (
+    compare_real_engines,
+    comparison_table_rows,
     dp_sweep_rows,
     figure3_checkpoint_sizes,
     figure4_iteration_phases,
@@ -28,11 +34,22 @@ from .analysis import (
     figure11_12_frequency_sweep,
     format_table,
     frequency_sweep_rows,
+    run_real_engine,
     table1_model_zoo,
 )
 from .checkpoint import ENGINE_NAMES
+from .core import canonical_engine_name
+from .exceptions import ConfigurationError
 from .model import MODEL_SIZES
 from .training import simulate_run
+
+
+def _engine_name(value: str) -> str:
+    """argparse type: canonicalize an (aliased) engine name."""
+    try:
+        return canonical_engine_name(value)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,7 +59,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="simulate one training run")
     simulate.add_argument("--model", choices=MODEL_SIZES, default="13B")
-    simulate.add_argument("--engine", choices=ENGINE_NAMES, default="datastates")
+    simulate.add_argument("--engine", type=_engine_name, choices=ENGINE_NAMES,
+                          default="datastates", metavar="|".join(ENGINE_NAMES))
     simulate.add_argument("--iterations", type=int, default=5)
     simulate.add_argument("--checkpoint-interval", type=int, default=1)
     simulate.add_argument("--data-parallel", type=int, default=1)
@@ -53,6 +71,29 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="override the iteration count (smaller = faster)")
 
     sub.add_parser("zoo", help="print the Table 1 model zoo")
+
+    def add_real_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--iterations", type=int, default=4)
+        cmd.add_argument("--checkpoint-interval", type=int, default=1)
+        cmd.add_argument("--hidden-size", type=int, default=128)
+        cmd.add_argument("--layers", type=int, default=2)
+        cmd.add_argument("--workdir", default=None,
+                         help="checkpoint directory (default: a fresh temp dir)")
+
+    train = sub.add_parser(
+        "train", help="train the real NumPy transformer under one engine")
+    train.add_argument("--engine", type=_engine_name, choices=ENGINE_NAMES,
+                       default="datastates", metavar="|".join(ENGINE_NAMES))
+    add_real_args(train)
+
+    compare = sub.add_parser(
+        "compare-real",
+        help="run the real trainer under all four engines and compare stalls")
+    compare.add_argument("--engines", nargs="*", type=_engine_name,
+                         choices=ENGINE_NAMES, default=None,
+                         metavar="|".join(ENGINE_NAMES),
+                         help="subset of engines (default: all four)")
+    add_real_args(compare)
     return parser
 
 
@@ -97,6 +138,38 @@ def _cmd_zoo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _real_workdir(args: argparse.Namespace) -> str:
+    return args.workdir or tempfile.mkdtemp(prefix="repro-real-")
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    workdir = _real_workdir(args)
+    row = run_real_engine(
+        args.engine, workdir,
+        iterations=args.iterations, checkpoint_interval=args.checkpoint_interval,
+        hidden_size=args.hidden_size, num_layers=args.layers,
+    )
+    print(format_table(comparison_table_rows([row]),
+                       title=f"Real-mode training ({row['label']})"))
+    print(f"checkpoints -> {row['checkpoint_dir']}")
+    return 0
+
+
+def _cmd_compare_real(args: argparse.Namespace) -> int:
+    workdir = _real_workdir(args)
+    rows = compare_real_engines(
+        workdir, engines=args.engines,
+        iterations=args.iterations, checkpoint_interval=args.checkpoint_interval,
+        hidden_size=args.hidden_size, num_layers=args.layers,
+    )
+    print(format_table(
+        comparison_table_rows(rows),
+        title="Real-mode engines — training-visible checkpoint stall"))
+    for row in rows:
+        print(f"{row['engine']} checkpoints -> {row['checkpoint_dir']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -106,6 +179,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "zoo":
         return _cmd_zoo(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "compare-real":
+        return _cmd_compare_real(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

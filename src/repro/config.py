@@ -17,6 +17,7 @@ Keeping every calibration constant in one documented place makes the
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -180,8 +181,14 @@ class CheckpointPolicy:
     #: Chunk size used when streaming tensors (TorchSnapshot-style chunking
     #: and DataStates streaming flushes).
     chunk_size: int = 64 * 1024 * 1024
-    #: Take a checkpoint every ``checkpoint_interval`` iterations.
-    checkpoint_interval: int = 1
+    #: .. deprecated:: 1.1
+    #:    *When* to checkpoint is run scheduling, not engine configuration:
+    #:    :attr:`RunConfig.checkpoint_interval` (and the ``checkpoint_interval``
+    #:    argument of the trainers) is the single source of truth.  Setting
+    #:    this field emits a :class:`DeprecationWarning`; a value that
+    #:    conflicts with the run configuration is a
+    #:    :class:`~repro.exceptions.ConfigurationError`.
+    checkpoint_interval: Optional[int] = None
     #: Whether D2H snapshots may lazily overlap the next iteration's forward
     #: and backward passes (the DataStates contribution).  Baselines set this
     #: to False.
@@ -216,8 +223,16 @@ class CheckpointPolicy:
             raise ConfigurationError("flush_threads must be positive")
         if self.chunk_size <= 0:
             raise ConfigurationError("chunk_size must be positive")
-        if self.checkpoint_interval <= 0:
-            raise ConfigurationError("checkpoint_interval must be positive")
+        if self.checkpoint_interval is not None:
+            if self.checkpoint_interval <= 0:
+                raise ConfigurationError("checkpoint_interval must be positive")
+            warnings.warn(
+                "CheckpointPolicy.checkpoint_interval is deprecated; the "
+                "checkpoint schedule lives in RunConfig.checkpoint_interval "
+                "(or the trainer's checkpoint_interval argument)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
     def with_overrides(self, **kwargs: object) -> "CheckpointPolicy":
         """Return a copy of this policy with selected fields replaced."""

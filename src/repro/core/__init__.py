@@ -1,13 +1,46 @@
-"""DataStates-LLM real-mode checkpoint engine (the paper's primary contribution)."""
+"""Real-mode checkpoint engines (the paper's primary contribution).
 
+One protocol (:class:`CheckpointEngine`), one registry
+(:func:`create_real_engine` / :func:`register_real_engine`), four engines —
+the paper's §6.2 baselines over real NumPy state:
+
+======================  ==========================================
+name                    engine
+======================  ==========================================
+``deepspeed`` (sync)    :class:`SynchronousCheckpointEngine`
+``async`` (checkfreq)   :class:`AsyncCheckpointEngine`
+``torchsnapshot``       :class:`TorchSnapshotCheckpointEngine`
+``datastates``          :class:`DataStatesCheckpointEngine`
+======================  ==========================================
+"""
+
+from .async_engine import AsyncCheckpointEngine, AsyncCheckpointHandle
+from .base_engine import CheckpointEngine, CompletedCheckpointHandle
 from .consolidation import TwoPhaseCommitCoordinator
-from .engine import CheckpointHandle, DataStatesCheckpointEngine, SynchronousCheckpointEngine
+from .engine import CheckpointHandle, DataStatesCheckpointEngine
 from .flush_pipeline import FlushPipeline, FlushResult, ShardFlushJob
 from .lazy_snapshot import CopyStream, SnapshotJob, StagedTensor
+from .registry import (
+    ENGINE_ALIASES,
+    ENGINE_LABELS,
+    ENGINE_NAMES,
+    available_real_engines,
+    canonical_engine_name,
+    create_real_engine,
+    register_real_engine,
+    resolve_real_engine_class,
+)
+from .sync_engine import SynchronousCheckpointEngine
+from .torchsnapshot_engine import TorchSnapshotCheckpointEngine
 
 __all__ = [
+    "CheckpointEngine",
+    "CompletedCheckpointHandle",
     "DataStatesCheckpointEngine",
     "SynchronousCheckpointEngine",
+    "AsyncCheckpointEngine",
+    "AsyncCheckpointHandle",
+    "TorchSnapshotCheckpointEngine",
     "CheckpointHandle",
     "TwoPhaseCommitCoordinator",
     "FlushPipeline",
@@ -16,4 +49,12 @@ __all__ = [
     "CopyStream",
     "SnapshotJob",
     "StagedTensor",
+    "ENGINE_NAMES",
+    "ENGINE_ALIASES",
+    "ENGINE_LABELS",
+    "available_real_engines",
+    "canonical_engine_name",
+    "create_real_engine",
+    "register_real_engine",
+    "resolve_real_engine_class",
 ]

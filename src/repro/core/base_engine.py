@@ -1,0 +1,255 @@
+"""The formal checkpoint-engine protocol shared by every real-mode engine.
+
+:class:`CheckpointEngine` is the one interface the real NumPy pipeline
+programs against — the real-mode mirror of the simulator's
+:class:`~repro.checkpoint.SimCheckpointEngine`.  All four paper baselines
+(§6.2: DeepSpeed-synchronous, CheckFreq-style asynchronous, TorchSnapshot,
+DataStates-LLM) implement it, so the trainer, the restart path, the CLI, and
+the benchmarks can swap engines by name through
+:func:`~repro.core.create_real_engine` without touching any call site.
+
+The protocol (mirroring DeepSpeed's checkpoint-engine interface plus the one
+extra call the paper adds):
+
+``save(state, tag, iteration=-1, shard_name=None) -> handle``
+    Request a checkpoint of ``state``.  How much of the work happens before
+    the call returns is the engine's defining property: the synchronous
+    baseline returns only once the checkpoint is globally committed, while
+    DataStates returns after the cheap parse/header phases.  Every engine
+    returns a handle exposing ``wait_captured()`` and ``wait_durable()``.
+
+``wait_for_snapshot(timeout=None)``
+    The consistency gate: blocks while any previous snapshot capture is still
+    pending.  Must be honoured before the training loop mutates tensors
+    referenced by an outstanding ``save`` (right before ``optimizer.step()``).
+    Engines that capture synchronously inside ``save`` implement it as a
+    no-op — the gate is still honoured, just trivially.
+
+``wait_all(timeout=None)``
+    Drain everything: captures, flushes, and the commit protocol for every
+    tag this rank initiated.  Called after the final save of a run.
+
+``load(tag, shard_name=None)``
+    Restore this rank's state from a committed checkpoint.  Routed through
+    :class:`~repro.restart.CheckpointLoader`, so every engine shares one
+    validated (size + CRC32, optionally mmap) restore path.
+
+``list_checkpoints() / latest_checkpoint()``
+    Discovery of committed checkpoints.
+
+``shutdown(wait=True)``
+    Idempotent teardown of background resources; with ``wait=True`` the
+    engine drains outstanding work first.  Engines are context managers:
+    ``__exit__`` shuts down, draining only on a clean exit.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config import CheckpointPolicy
+from ..exceptions import CheckpointError
+from ..io import FileStore
+from ..logging_utils import get_logger
+from ..serialization import ShardHeader, ShardRecord, iter_shard_chunks
+from .consolidation import TwoPhaseCommitCoordinator
+from .flush_pipeline import FlushResult
+
+logger = get_logger(__name__)
+
+#: Default host staging budget when neither a policy nor an explicit size is given.
+DEFAULT_HOST_BUFFER_SIZE = 256 * 1024 * 1024
+
+
+@dataclass
+class CompletedCheckpointHandle:
+    """Handle of a ``save`` that already completed before returning.
+
+    Blocking engines (synchronous, TorchSnapshot-style) hand this back so
+    callers can treat every engine's handles uniformly: the capture and the
+    flush are already done, so the waits return immediately.
+    """
+
+    tag: str
+    shard_name: str
+    result: FlushResult
+
+    def wait_captured(self, timeout: Optional[float] = None) -> bool:
+        """The snapshot was captured inside ``save``; always already done."""
+        return True
+
+    def wait_durable(self, timeout: Optional[float] = None) -> FlushResult:
+        """The shard was durably written inside ``save``."""
+        return self.result
+
+
+class CheckpointEngine(abc.ABC):
+    """Abstract base of the real-mode checkpoint engines.
+
+    Hoists the plumbing every engine shares: store/rank/world validation,
+    policy resolution, the two-phase-commit coordinator, default shard
+    naming, the loader-backed restore path, checkpoint discovery, stats, and
+    the idempotent shutdown / context-manager lifecycle.  Subclasses
+    implement :meth:`save` and override the wait points their concurrency
+    model requires, plus :meth:`_release_resources` for teardown.
+    """
+
+    #: Canonical engine name (matches the registry and the figure legends).
+    name: str = "base"
+
+    def __init__(
+        self,
+        store: FileStore,
+        rank: int = 0,
+        world_size: int = 1,
+        coordinator: Optional[TwoPhaseCommitCoordinator] = None,
+        policy: Optional[CheckpointPolicy] = None,
+        host_buffer_size: Optional[int] = None,
+    ) -> None:
+        if not (0 <= rank < world_size):
+            raise CheckpointError(f"rank {rank} outside world of size {world_size}")
+        self.store = store
+        self.rank = rank
+        self.world_size = world_size
+        resolved = policy or CheckpointPolicy(
+            host_buffer_size=host_buffer_size or DEFAULT_HOST_BUFFER_SIZE
+        )
+        if host_buffer_size is not None:
+            # An explicit host_buffer_size always wins, including over a
+            # simultaneously-passed policy.
+            resolved = resolved.with_overrides(host_buffer_size=host_buffer_size)
+        self.policy = resolved
+        self.coordinator = coordinator or TwoPhaseCommitCoordinator(world_size, store)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._checkpoints_requested = 0
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # The DeepSpeed checkpoint-engine interface calls this ``create``/
+        # ``commit``; ``save`` + the wait points keep the same semantics with
+        # one entry point.  Alias it on every concrete engine.
+        if "save" in cls.__dict__:
+            cls.checkpoint = cls.__dict__["save"]
+
+    # ------------------------------------------------------------------ save
+    @abc.abstractmethod
+    def save(self, state: Any, tag: str, iteration: int = -1,
+             shard_name: Optional[str] = None):
+        """Checkpoint ``state`` under ``tag``; returns an engine handle."""
+
+    # ------------------------------------------------------------ wait points
+    def wait_for_snapshot(self, timeout: Optional[float] = None) -> None:
+        """Consistency gate before the optimizer update.
+
+        Default: no-op, for engines whose capture completes inside ``save``.
+        """
+
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        """Drain captures, flushes, and commits of this rank's tags.
+
+        Default: no-op, for engines whose ``save`` is fully blocking.
+        """
+
+    # ------------------------------------------------------------------ load
+    def load(self, tag: str, shard_name: Optional[str] = None) -> Any:
+        """Load this rank's state from a committed checkpoint.
+
+        Every engine restores through the same
+        :class:`~repro.restart.CheckpointLoader` path: the shard is validated
+        against the manifest (size + CRC32) and, with ``policy.mmap_restore``,
+        rebuilt straight out of a read-only memory map.
+        """
+        from ..restart import CheckpointLoader
+
+        loader = CheckpointLoader(self.store, use_mmap=self.policy.mmap_restore)
+        return loader.load_shard(tag, shard_name or self.default_shard_name())
+
+    def list_checkpoints(self) -> List[str]:
+        """Tags of committed checkpoints, oldest first."""
+        return self.store.list_committed_checkpoints()
+
+    def latest_checkpoint(self) -> Optional[str]:
+        """Most recent committed checkpoint tag, if any."""
+        tags = self.list_checkpoints()
+        return tags[-1] if tags else None
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, float]:
+        """Operational counters (engines extend this with their own)."""
+        return {
+            "engine": self.name,
+            "rank": self.rank,
+            "checkpoints_requested": self._checkpoints_requested,
+        }
+
+    # ---------------------------------------------------------------- helpers
+    def default_shard_name(self) -> str:
+        """This rank's shard file name in the one-shard-per-rank layout."""
+        return f"rank{self.rank}"
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise CheckpointError("checkpoint engine is shut down")
+
+    def _count_request(self) -> None:
+        with self._lock:
+            self._checkpoints_requested += 1
+
+    def _write_streaming_shard(self, tag: str, shard_name: str, header: ShardHeader,
+                               skeleton: bytes,
+                               views: Sequence[memoryview]) -> Tuple[int, int]:
+        """Sequentially stream a captured shard to the store, accumulating the
+        whole-file CRC32 chunk by chunk; returns ``(nbytes, checksum)``."""
+        checksum = 0
+
+        def chunks():
+            nonlocal checksum
+            for chunk in iter_shard_chunks(header, skeleton, views,
+                                           chunk_size=self.policy.chunk_size):
+                checksum = zlib.crc32(chunk, checksum) & 0xFFFFFFFF
+                yield chunk
+
+        receipt = self.store.write_shard(tag, shard_name, chunks())
+        return receipt.nbytes, checksum
+
+    def _vote_and_wait_commit(self, tag: str, record: ShardRecord, iteration: int,
+                              timeout: Optional[float] = None) -> None:
+        """Cast this rank's vote and block until ``tag`` is globally committed
+        (the blocking half of the synchronous engines' save contract)."""
+        self.coordinator.vote(tag, self.rank, [record], iteration=iteration)
+        if not self.coordinator.wait_committed(tag, timeout=timeout):
+            raise CheckpointError(
+                f"timed out waiting for checkpoint {tag!r} to commit "
+                f"(world_size={self.world_size}; every rank must save the same tag)"
+            )
+
+    # ---------------------------------------------------------------- shutdown
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop background resources; idempotent.
+
+        With ``wait=True`` outstanding captures/flushes/commits are drained
+        first (failures are logged, not raised, so teardown always completes).
+        """
+        if self._closed:
+            return
+        if wait:
+            try:
+                self.wait_all()
+            except CheckpointError:
+                logger.warning("engine shut down with failed outstanding checkpoints")
+        self._closed = True
+        self._release_resources(wait=wait)
+
+    def _release_resources(self, wait: bool = True) -> None:
+        """Tear down engine-specific background resources (default: none)."""
+
+    def __enter__(self) -> "CheckpointEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)

@@ -16,25 +16,26 @@ exact pipeline of §5.3:
 5. *commit* — vote in the asynchronous two-phase commit; once every rank's
    shards are durable the coordinator publishes the manifest.
 
-The public methods mirror DeepSpeed's checkpoint-engine interface plus the
-one extra call the paper adds: :meth:`wait_for_snapshot`, which blocks while
-"any previous snapshot capture operations are pending" and must be called
-before the training loop mutates the model (the update phase).
+It implements the shared :class:`~repro.core.CheckpointEngine` protocol; the
+one member the protocol adds over DeepSpeed's checkpoint-engine interface is
+:meth:`wait_for_snapshot`, which blocks while "any previous snapshot capture
+operations are pending" and must be called before the training loop mutates
+the model (the update phase).
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 from ..config import CheckpointPolicy
-from ..exceptions import CheckpointError
 from ..io import FileStore
 from ..logging_utils import get_logger
 from ..memory import PinnedHostPool
-from ..serialization import build_header, deserialize_state
+from ..serialization import build_header
 from ..tensor import flatten_state_dict
+from ..exceptions import CheckpointError
+from .base_engine import CheckpointEngine
 from .consolidation import TwoPhaseCommitCoordinator
 from .flush_pipeline import FlushPipeline, FlushResult, ShardFlushJob
 from .lazy_snapshot import CopyStream, SnapshotJob
@@ -60,8 +61,10 @@ class CheckpointHandle:
         return self.flush.wait(timeout=timeout)
 
 
-class DataStatesCheckpointEngine:
+class DataStatesCheckpointEngine(CheckpointEngine):
     """Lazy asynchronous multi-level checkpointing over real NumPy state."""
+
+    name = "datastates"
 
     def __init__(
         self,
@@ -72,18 +75,9 @@ class DataStatesCheckpointEngine:
         policy: Optional[CheckpointPolicy] = None,
         host_buffer_size: Optional[int] = None,
     ) -> None:
-        if not (0 <= rank < world_size):
-            raise CheckpointError(f"rank {rank} outside world of size {world_size}")
-        self.store = store
-        self.rank = rank
-        self.world_size = world_size
-        resolved = policy or CheckpointPolicy(host_buffer_size=host_buffer_size or 256 * 1024 * 1024)
-        if host_buffer_size is not None:
-            # An explicit host_buffer_size always wins, including over a
-            # simultaneously-passed policy.
-            resolved = resolved.with_overrides(host_buffer_size=host_buffer_size)
-        self.policy = resolved
-        self.coordinator = coordinator or TwoPhaseCommitCoordinator(world_size, store)
+        super().__init__(store, rank=rank, world_size=world_size,
+                         coordinator=coordinator, policy=policy,
+                         host_buffer_size=host_buffer_size)
         self.pool = PinnedHostPool(self.policy.host_buffer_size)
         self.copy_stream = CopyStream(self.pool, name=f"d2h-copy-r{rank}")
         self.pipeline = FlushPipeline(
@@ -94,11 +88,12 @@ class DataStatesCheckpointEngine:
             chunk_size=self.policy.chunk_size,
             parallel_shard_writes=self.policy.parallel_shard_writes,
         )
+        #: Outstanding (or failed) requests; successfully retired handles are
+        #: pruned on the next save so a long run does not accumulate history.
         self._handles: List[CheckpointHandle] = []
-        self._pending_votes: Dict[str, List] = {}
-        self._lock = threading.Lock()
-        self._closed = False
-        self._checkpoints_requested = 0
+        #: Tags this rank has successfully voted for (wait_all awaits their
+        #: commits, including those of already-pruned handles).
+        self._voted_tags: set = set()
 
     # ------------------------------------------------------------------ save
     def save(self, state: Any, tag: str, iteration: int = -1,
@@ -110,10 +105,9 @@ class DataStatesCheckpointEngine:
         invoke :meth:`wait_for_snapshot` before mutating any tensor referenced
         by ``state`` (typically right before ``optimizer.step()``).
         """
-        if self._closed:
-            raise CheckpointError("checkpoint engine is shut down")
-        self._checkpoints_requested += 1
-        shard = shard_name or f"rank{self.rank}"
+        self._ensure_open()
+        self._count_request()
+        shard = shard_name or self.default_shard_name()
 
         # Phase 1-2: flatten the object tree and compute file offsets.
         flattened = flatten_state_dict(state)
@@ -132,6 +126,8 @@ class DataStatesCheckpointEngine:
         # Phase 4-5 completion callback: vote once this rank's shard is durable.
         def on_durable(result: FlushResult) -> None:
             self.coordinator.vote(tag, self.rank, [result.record], iteration=iteration)
+            with self._lock:
+                self._voted_tags.add(tag)
 
         # Phase 3: lazy capture on the copy stream; phase 4: streaming flush.
         self.copy_stream.submit(snapshot)
@@ -139,12 +135,12 @@ class DataStatesCheckpointEngine:
 
         handle = CheckpointHandle(tag=tag, shard_name=shard, snapshot=snapshot, flush=flush_job)
         with self._lock:
+            # Retired-and-successful handles are done with; failed ones are
+            # kept so the next wait point surfaces their error.
+            self._handles = [h for h in self._handles
+                             if not h.flush.done.is_set() or h.flush.error is not None]
             self._handles.append(handle)
         return handle
-
-    # The DeepSpeed checkpoint-engine interface calls this ``create``/``commit``;
-    # ``save`` + ``wait`` keeps the same semantics with one entry point.
-    checkpoint = save
 
     # ------------------------------------------------------------ wait points
     def wait_for_snapshot(self, timeout: Optional[float] = None) -> None:
@@ -173,115 +169,28 @@ class DataStatesCheckpointEngine:
         """Drain everything: captures, flushes, and commits of this rank's tags."""
         self.wait_for_snapshot(timeout=timeout)
         results = self.wait_for_flushes(timeout=timeout)
-        for tag in sorted({result.tag for result in results}):
-            self.coordinator.wait_committed(tag, timeout=timeout)
-
-    # ------------------------------------------------------------------ load
-    def load(self, tag: str, shard_name: Optional[str] = None) -> Any:
-        """Load this rank's state from a committed checkpoint.
-
-        With ``policy.mmap_restore`` the shard is memory-mapped and each array
-        is materialised straight out of the map one tensor at a time, so the
-        restore never holds both the raw file bytes and the rebuilt arrays on
-        the heap at once.
-        """
-        manifest = self.store.read_manifest(tag)
-        shard = shard_name or f"rank{self.rank}"
-        recorded = {item["name"] for item in manifest.get("shards", [])}
-        if shard not in recorded:
-            raise CheckpointError(
-                f"checkpoint {tag!r} has no shard {shard!r} (has: {sorted(recorded)[:4]} ...)"
-            )
-        if self.policy.mmap_restore and callable(getattr(self.store, "open_shard_mmap", None)):
-            with self.store.open_shard_mmap(tag, shard) as mapped:
-                return deserialize_state(mapped.data, copy=True)
-        raw = self.store.read_shard(tag, shard)
-        return deserialize_state(raw)
-
-    def list_checkpoints(self) -> List[str]:
-        """Tags of committed checkpoints, oldest first."""
-        return self.store.list_committed_checkpoints()
-
-    def latest_checkpoint(self) -> Optional[str]:
-        """Most recent committed checkpoint tag, if any."""
-        tags = self.list_checkpoints()
-        return tags[-1] if tags else None
+        with self._lock:
+            voted = set(self._voted_tags)
+        for tag in sorted({result.tag for result in results} | voted):
+            if not self.coordinator.wait_committed(tag, timeout=timeout):
+                raise CheckpointError(f"timed out waiting for commit of {tag!r}")
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, float]:
         """Operational counters (for reports and tests)."""
-        return {
-            "rank": self.rank,
-            "checkpoints_requested": self._checkpoints_requested,
+        base = super().stats()
+        base.update({
             "host_buffer_bytes": self.pool.capacity,
             "host_buffer_used_bytes": self.pool.used_bytes,
             "host_buffer_peak_bytes": self.pool.peak_used_bytes,
             "host_buffer_blocked_waits": self.pool.blocked_waits,
             "pending_flushes": len(self.pipeline.pending_jobs()),
             "queued_flush_tasks": self.pipeline.workers.unfinished,
-        }
+        })
+        return base
 
     # ---------------------------------------------------------------- shutdown
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop background threads; optionally wait for outstanding work first."""
-        if self._closed:
-            return
-        if wait:
-            try:
-                self.wait_all()
-            except CheckpointError:
-                logger.warning("engine shut down with failed outstanding checkpoints")
-        self._closed = True
+    def _release_resources(self, wait: bool = True) -> None:
         self.copy_stream.shutdown()
         self.pipeline.shutdown(wait=wait)
         self.pool.close()
-
-    def __enter__(self) -> "DataStatesCheckpointEngine":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.shutdown(wait=exc_type is None)
-
-
-class SynchronousCheckpointEngine:
-    """The ``torch.save``-style blocking baseline over real NumPy state.
-
-    Provided for apples-to-apples comparison in the real-mode examples and
-    benchmarks: it serializes and writes the shard, then votes and waits for
-    the commit, all before returning to the caller.
-    """
-
-    def __init__(self, store: FileStore, rank: int = 0, world_size: int = 1,
-                 coordinator: Optional[TwoPhaseCommitCoordinator] = None) -> None:
-        self.store = store
-        self.rank = rank
-        self.world_size = world_size
-        self.coordinator = coordinator or TwoPhaseCommitCoordinator(world_size, store)
-
-    def save(self, state: Any, tag: str, iteration: int = -1,
-             shard_name: Optional[str] = None) -> None:
-        """Blocking checkpoint of ``state``."""
-        from ..serialization import ShardRecord, checksum_bytes, serialize_state
-
-        shard = shard_name or f"rank{self.rank}"
-        raw = serialize_state(state)
-        receipt = self.store.write_shard(tag, shard, [raw])
-        record = ShardRecord(rank=self.rank, name=shard, nbytes=receipt.nbytes,
-                             checksum=checksum_bytes(raw))
-        self.coordinator.vote(tag, self.rank, [record], iteration=iteration)
-        if self.world_size == 1:
-            self.coordinator.wait_committed(tag)
-
-    def load(self, tag: str, shard_name: Optional[str] = None) -> Any:
-        """Load this rank's state from a checkpoint."""
-        shard = shard_name or f"rank{self.rank}"
-        return deserialize_state(self.store.read_shard(tag, shard))
-
-    def wait_for_snapshot(self, timeout: Optional[float] = None) -> None:
-        """No-op: nothing is ever pending for the synchronous engine."""
-
-    def wait_all(self, timeout: Optional[float] = None) -> None:
-        """No-op: every save already completed synchronously."""
-
-    def shutdown(self, wait: bool = True) -> None:
-        """No background resources to release."""

@@ -38,12 +38,130 @@ from ..io import FileStore, FlushTask, FlushWorkerPool
 from ..logging_utils import get_logger
 from ..memory import PinnedHostPool
 from ..serialization import ShardRecord, crc32_combine, encode_preamble
-from .lazy_snapshot import SnapshotJob, StagedTensor
+from .lazy_snapshot import SnapshotJob
 
 logger = get_logger(__name__)
 
 #: Default number of concurrent pwrite workers for the parallel fast path.
 DEFAULT_WRITER_THREADS = 4
+
+
+class ParallelShardWrite:
+    """Coordinates the concurrent offset-addressed write of ONE shard.
+
+    The shared machinery of every parallel write path — used by the
+    :class:`FlushPipeline` fast path (pinned-pool staged tensors arriving via
+    the snapshot queue) and by the TorchSnapshot-like engine (in-memory
+    captured tensors): a pending-task latch, per-tensor CRC32 accumulation,
+    first-error capture, and the fold of the whole-file checksum from the
+    per-tensor CRCs (in file-offset order, so it is byte-identical to a
+    sequential CRC despite out-of-order writes).
+    """
+
+    def __init__(self, writer, workers: FlushWorkerPool, header, preamble: bytes) -> None:
+        self.writer = writer
+        self.workers = workers
+        self.header = header
+        self.preamble = preamble
+        self.payload_start = len(preamble)
+        self._index_by_offset = {entry.offset: i for i, entry in enumerate(header.entries)}
+        self._state_lock = threading.Lock()
+        self._tensor_crcs: List[Optional[int]] = [None] * len(header.entries)
+        self._errors: List[BaseException] = []
+        self._done_cv = threading.Condition()
+        self._pending = 0
+
+    def write_preamble(self) -> None:
+        """Write the header+skeleton at offset 0 (errors captured, not raised)."""
+        try:
+            self.writer.pwrite(0, self.preamble)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via first_error
+            self._record_error(exc)
+
+    def _record_error(self, exc: BaseException) -> None:
+        with self._state_lock:
+            self._errors.append(exc)
+
+    @property
+    def failed(self) -> bool:
+        """True once any write has failed (producers should stop submitting)."""
+        with self._state_lock:
+            return bool(self._errors)
+
+    def submit(self, entry, view: memoryview, description: str = "",
+               chunk_size: Optional[int] = None,
+               cleanup: Optional[Callable[[], None]] = None) -> None:
+        """Queue one tensor's pwrite at its final offset.
+
+        ``cleanup`` runs when the write retires (success or failure) — e.g.
+        releasing the tensor's pinned-pool space.  With ``chunk_size`` the
+        tensor is written (and checksummed) in bounded pieces.  Raises only
+        if the worker pool rejects the task; its latch slot and cleanup are
+        undone first.
+        """
+        with self._done_cv:
+            self._pending += 1
+
+        def run() -> None:
+            try:
+                if chunk_size:
+                    crc = 0
+                    for start in range(0, entry.nbytes, chunk_size):
+                        stop = min(start + chunk_size, entry.nbytes)
+                        piece = view[start:stop]
+                        self.writer.pwrite(self.payload_start + entry.offset + start, piece)
+                        crc = zlib.crc32(piece, crc) & 0xFFFFFFFF
+                else:
+                    self.writer.pwrite(self.payload_start + entry.offset, view)
+                    crc = zlib.crc32(view) & 0xFFFFFFFF
+                with self._state_lock:
+                    self._tensor_crcs[self._index_by_offset[entry.offset]] = crc
+            except BaseException as exc:  # noqa: BLE001 - surfaced via first_error
+                self._record_error(exc)
+            finally:
+                if cleanup is not None:
+                    cleanup()
+
+        def on_done(_error: Optional[BaseException]) -> None:
+            with self._done_cv:
+                self._pending -= 1
+                self._done_cv.notify_all()
+
+        try:
+            self.workers.submit(FlushTask(run=run, on_done=on_done,
+                                          description=description))
+        except BaseException:
+            # The task will never run: undo its latch slot and release its
+            # payload before bailing out.
+            with self._done_cv:
+                self._pending -= 1
+            if cleanup is not None:
+                cleanup()
+            raise
+
+    def wait_writes(self) -> None:
+        """Block until every submitted pwrite has retired (always safe to
+        call — also on error paths, before closing the writer's fd)."""
+        with self._done_cv:
+            while self._pending:
+                self._done_cv.wait()
+
+    def first_error(self) -> Optional[BaseException]:
+        """The first write failure, if any."""
+        with self._state_lock:
+            return self._errors[0] if self._errors else None
+
+    def folded_checksum(self) -> int:
+        """Whole-file CRC32 folded from the per-tensor CRCs."""
+        checksum = zlib.crc32(self.preamble) & 0xFFFFFFFF
+        for entry, crc in zip(self.header.entries, self._tensor_crcs):
+            assert crc is not None
+            checksum = crc32_combine(checksum, crc, entry.nbytes)
+        return checksum
+
+    def tensor_checksums(self) -> Tuple[Optional[int], ...]:
+        """Per-tensor CRC32s in header order."""
+        return tuple(self._tensor_crcs)
 
 
 @dataclass
@@ -126,13 +244,17 @@ class FlushPipeline:
 
         def on_done(error: Optional[BaseException]) -> None:
             job.error = error
-            job.done.set()
+            # The durability callback (the commit vote) runs BEFORE the done
+            # event fires: anyone woken by wait() may rely on the vote having
+            # been cast — e.g. the engine prunes retired handles and then
+            # waits on the coordinator for their tags.
             if error is None and on_durable is not None and job.result is not None:
                 try:
                     on_durable(job.result)
                 except Exception as exc:  # noqa: BLE001 - consolidation errors surface later
                     job.error = exc
                     logger.error("post-flush callback failed for %s: %s", snapshot.shard_name, exc)
+            job.done.set()
 
         self.workers.submit(FlushTask(run=run, on_done=on_done,
                                       description=f"{snapshot.tag}/{snapshot.shard_name}"))
@@ -204,9 +326,7 @@ class FlushPipeline:
         assert self._pwriters is not None
         header = snapshot.header
         preamble = encode_preamble(header, snapshot.skeleton)
-        payload_start = len(preamble)
-        total_bytes = payload_start + header.payload_bytes
-        index_by_offset = {entry.offset: i for i, entry in enumerate(header.entries)}
+        total_bytes = len(preamble) + header.payload_bytes
 
         try:
             writer = self.store.create_shard_writer(snapshot.tag, snapshot.shard_name,
@@ -215,103 +335,53 @@ class FlushPipeline:
             self._drain_staged(snapshot)
             raise
 
-        state_lock = threading.Lock()
-        tensor_crcs: List[Optional[int]] = [None] * len(header.entries)
-        errors: List[BaseException] = []
-        pending = 0
-        done_cv = threading.Condition()
-
-        def task_finished(_error: Optional[BaseException]) -> None:
-            nonlocal pending
-            with done_cv:
-                pending -= 1
-                done_cv.notify_all()
-
+        shard_write = ParallelShardWrite(writer, self._pwriters, header, preamble)
         queue_drained = False
         try:
-            try:
-                writer.pwrite(0, preamble)
-            except BaseException as exc:  # noqa: BLE001 - reported after draining
-                with state_lock:
-                    errors.append(exc)
+            shard_write.write_preamble()
 
             while True:
                 staged = snapshot.staged.get()
                 if staged is None:
                     break
-                with state_lock:
-                    failed = bool(errors)
-                if failed:
+                if shard_write.failed:
                     # A write already failed: keep draining the queue so the
                     # pinned pool is released and the capture thread never
                     # wedges.
                     self.pool.free(staged.allocation)
                     continue
-                with done_cv:
-                    pending += 1
-
-                def write_one(staged: StagedTensor = staged) -> None:
-                    try:
-                        entry = staged.entry
-                        view = staged.allocation.view
-                        writer.pwrite(payload_start + entry.offset, view)
-                        crc = zlib.crc32(view) & 0xFFFFFFFF
-                        with state_lock:
-                            tensor_crcs[index_by_offset[entry.offset]] = crc
-                    except BaseException as exc:  # noqa: BLE001 - surfaced below
-                        with state_lock:
-                            errors.append(exc)
-                    finally:
-                        self.pool.free(staged.allocation)
-
-                try:
-                    self._pwriters.submit(FlushTask(
-                        run=write_one, on_done=task_finished,
-                        description=f"{snapshot.tag}/{snapshot.shard_name}"
-                                    f"@{staged.entry.offset}"))
-                except BaseException:
-                    # The task will never run: undo its latch slot and free
-                    # its staging space before bailing out.
-                    with done_cv:
-                        pending -= 1
-                    self.pool.free(staged.allocation)
-                    raise
+                allocation = staged.allocation
+                shard_write.submit(
+                    staged.entry, allocation.view,
+                    description=f"{snapshot.tag}/{snapshot.shard_name}"
+                                f"@{staged.entry.offset}",
+                    cleanup=lambda allocation=allocation: self.pool.free(allocation),
+                )
             queue_drained = True
 
-            with done_cv:
-                while pending:
-                    done_cv.wait()
-
+            shard_write.wait_writes()
             capture_error = snapshot.capture_error()
             if capture_error is not None:
                 raise CheckpointError(
                     f"snapshot capture failed mid-flush: {capture_error}"
                 ) from capture_error
-            if errors:
-                raise errors[0]
+            error = shard_write.first_error()
+            if error is not None:
+                raise error
 
-            # Fold per-tensor CRCs (in file-offset order) into the whole-file
-            # checksum; identical to crc32 over the final bytes despite the
-            # out-of-order writes.
-            checksum = zlib.crc32(preamble) & 0xFFFFFFFF
-            for entry, crc in zip(header.entries, tensor_crcs):
-                assert crc is not None
-                checksum = crc32_combine(checksum, crc, entry.nbytes)
-
+            checksum = shard_write.folded_checksum()
             receipt = writer.commit()
         except BaseException:
             # Let in-flight pwrites retire before closing their fd (already-
             # queued tasks always run; a shut-down pool only stops new work).
-            with done_cv:
-                while pending:
-                    done_cv.wait()
+            shard_write.wait_writes()
             writer.abort()
             if not queue_drained:
                 self._drain_staged(snapshot)
             raise
         record = ShardRecord(rank=self.rank, name=snapshot.shard_name,
                              nbytes=receipt.nbytes, checksum=checksum,
-                             tensor_checksums=tuple(tensor_crcs))
+                             tensor_checksums=shard_write.tensor_checksums())
         return FlushResult(tag=snapshot.tag, shard_name=snapshot.shard_name,
                            nbytes=receipt.nbytes, checksum=checksum, record=record)
 

@@ -1,0 +1,134 @@
+"""The one checkpoint-engine name table, plus the real-mode registry/factory.
+
+Engines are selected by name, mirroring the single ``checkpoint_engine``
+attribute the paper exposes through the DeepSpeed configuration file (§5.2).
+The canonical names — ``deepspeed``, ``async``, ``torchsnapshot``,
+``datastates`` — map to the four approaches compared in §6.2, and this module
+is their single source of truth: the simulator registry
+(:mod:`repro.checkpoint.factory`) imports the same names/aliases/labels, so
+``create_real_engine("async", store)`` and the simulator's
+``create_engine("async", ...)`` always agree on what a name means.
+
+:func:`create_real_engine` instantiates an engine over real NumPy state::
+
+    from repro import FileStore
+    from repro.core import create_real_engine
+
+    engine = create_real_engine("datastates", FileStore("/tmp/ckpts"))
+    with engine:
+        engine.save(state, tag="step-10", iteration=10)
+        engine.wait_all()
+
+Later backends (io_uring stores, multi-shard layouts, object stores) register
+their engines with :func:`register_real_engine` and become selectable from
+the trainer, the CLI, and the benchmarks with no further plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from ..config import CheckpointPolicy
+from ..exceptions import ConfigurationError
+from ..io import FileStore
+from .async_engine import AsyncCheckpointEngine
+from .base_engine import CheckpointEngine
+from .consolidation import TwoPhaseCommitCoordinator
+from .engine import DataStatesCheckpointEngine
+from .sync_engine import SynchronousCheckpointEngine
+from .torchsnapshot_engine import TorchSnapshotCheckpointEngine
+
+#: Canonical engine names, in the order the paper's figures list them.
+ENGINE_NAMES: List[str] = ["deepspeed", "async", "torchsnapshot", "datastates"]
+
+#: Accepted aliases -> canonical name (shared by the real and simulated registries).
+ENGINE_ALIASES: Dict[str, str] = {
+    "deepspeed": "deepspeed",
+    "deepspeed-sync": "deepspeed",
+    "sync": "deepspeed",
+    "async": "async",
+    "async-checkfreq": "async",
+    "checkfreq": "async",
+    "torchsnapshot": "torchsnapshot",
+    "datastates": "datastates",
+    "datastates-llm": "datastates",
+}
+
+#: Display labels used in figure/report output.
+ENGINE_LABELS: Dict[str, str] = {
+    "deepspeed": "DeepSpeed (sync)",
+    "async": "Async. ckpt (CheckFreq-like)",
+    "torchsnapshot": "TorchSnapshot",
+    "datastates": "DataStates-LLM",
+}
+
+_REAL_REGISTRY: Dict[str, Type[CheckpointEngine]] = {
+    "deepspeed": SynchronousCheckpointEngine,
+    "async": AsyncCheckpointEngine,
+    "torchsnapshot": TorchSnapshotCheckpointEngine,
+    "datastates": DataStatesCheckpointEngine,
+}
+
+
+def canonical_engine_name(name: str) -> str:
+    """Resolve an (aliased) engine name to its canonical form."""
+    key = name.strip().lower()
+    if key in ENGINE_ALIASES:
+        return ENGINE_ALIASES[key]
+    if key in _REAL_REGISTRY:
+        return key
+    raise ConfigurationError(
+        f"unknown checkpoint engine {name!r}; known engines: "
+        f"{sorted(set(ENGINE_ALIASES) | set(_REAL_REGISTRY))}"
+    )
+
+
+def available_real_engines() -> List[str]:
+    """Canonical names of the registered real-mode engines."""
+    return [name for name in ENGINE_NAMES if name in _REAL_REGISTRY] + sorted(
+        name for name in _REAL_REGISTRY if name not in ENGINE_NAMES
+    )
+
+
+def resolve_real_engine_class(name: str) -> Type[CheckpointEngine]:
+    """Look up a real-mode engine class by (possibly aliased) name.
+
+    An exact registry entry wins over alias resolution, so a custom engine
+    registered under an alias (e.g. ``register_real_engine("checkfreq", X)``)
+    is honoured rather than silently shadowed by the canonical mapping.
+    """
+    key = name.strip().lower()
+    if key in _REAL_REGISTRY:
+        return _REAL_REGISTRY[key]
+    return _REAL_REGISTRY[canonical_engine_name(key)]
+
+
+def create_real_engine(
+    name: str,
+    store: FileStore,
+    rank: int = 0,
+    world_size: int = 1,
+    coordinator: Optional[TwoPhaseCommitCoordinator] = None,
+    policy: Optional[CheckpointPolicy] = None,
+    **engine_kwargs,
+) -> CheckpointEngine:
+    """Instantiate a real-mode checkpoint engine by name.
+
+    The real-mode mirror of the simulator's
+    :func:`repro.checkpoint.create_engine`: the same four canonical names
+    (and aliases) select the paper's baselines, here running over real NumPy
+    state against ``store``.
+    """
+    engine_class = resolve_real_engine_class(name)
+    return engine_class(store, rank=rank, world_size=world_size,
+                        coordinator=coordinator, policy=policy, **engine_kwargs)
+
+
+def register_real_engine(name: str, engine_class: Type[CheckpointEngine]) -> None:
+    """Register a custom real-mode engine implementation under a new name."""
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("engine name must be non-empty")
+    if not (isinstance(engine_class, type) and issubclass(engine_class, CheckpointEngine)):
+        raise ConfigurationError("engine_class must derive from CheckpointEngine")
+    _REAL_REGISTRY[key] = engine_class

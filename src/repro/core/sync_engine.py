@@ -1,0 +1,64 @@
+"""The synchronous ``torch.save``-style baseline over real NumPy state.
+
+This is the real-mode counterpart of the paper's "DeepSpeed (sync)" baseline
+(§6.2): :meth:`SynchronousCheckpointEngine.save` serializes the whole state,
+writes the shard, votes, and then **blocks until the checkpoint is globally
+committed** — the training loop is stalled for the full duration, which is
+exactly the behaviour the asynchronous engines are measured against.
+
+Blocking contract
+-----------------
+``save`` returns only once the manifest of ``tag`` has been published (or
+raises).  A checkpoint is a collective operation, so with ``world_size > 1``
+every rank must call ``save`` for the same tag concurrently (each rank from
+its own thread/process, as the real-mode harness does) — a single rank saving
+alone would wait for votes that never arrive, bounded by ``commit_timeout``.
+The seed implementation only waited when ``world_size == 1``, which silently
+turned multi-rank "synchronous" saves into fire-and-forget ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..config import CheckpointPolicy
+from ..io import FileStore
+from ..serialization import ShardRecord, checksum_bytes, serialize_state
+from .base_engine import CheckpointEngine, CompletedCheckpointHandle
+from .consolidation import TwoPhaseCommitCoordinator
+from .flush_pipeline import FlushResult
+
+
+class SynchronousCheckpointEngine(CheckpointEngine):
+    """Blocking baseline: serialize, write, vote, and wait for the commit."""
+
+    name = "deepspeed"
+
+    def __init__(self, store: FileStore, rank: int = 0, world_size: int = 1,
+                 coordinator: Optional[TwoPhaseCommitCoordinator] = None,
+                 policy: Optional[CheckpointPolicy] = None,
+                 host_buffer_size: Optional[int] = None,
+                 commit_timeout: Optional[float] = None) -> None:
+        # host_buffer_size is accepted (and ignored beyond policy resolution)
+        # so every engine shares the factory's uniform construction signature.
+        super().__init__(store, rank=rank, world_size=world_size,
+                         coordinator=coordinator, policy=policy,
+                         host_buffer_size=host_buffer_size)
+        #: Upper bound on how long ``save`` waits for the collective commit
+        #: (``None`` = wait forever, matching a blocking collective).
+        self.commit_timeout = commit_timeout
+
+    def save(self, state: Any, tag: str, iteration: int = -1,
+             shard_name: Optional[str] = None) -> CompletedCheckpointHandle:
+        """Blocking checkpoint of ``state``: durable *and* committed on return."""
+        self._ensure_open()
+        self._count_request()
+        shard = shard_name or self.default_shard_name()
+        raw = serialize_state(state)
+        receipt = self.store.write_shard(tag, shard, [raw])
+        record = ShardRecord(rank=self.rank, name=shard, nbytes=receipt.nbytes,
+                             checksum=checksum_bytes(raw))
+        self._vote_and_wait_commit(tag, record, iteration, timeout=self.commit_timeout)
+        result = FlushResult(tag=tag, shard_name=shard, nbytes=receipt.nbytes,
+                             checksum=record.checksum, record=record)
+        return CompletedCheckpointHandle(tag=tag, shard_name=shard, result=result)

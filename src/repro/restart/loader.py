@@ -149,6 +149,22 @@ class CheckpointLoader:
                 )
 
     # -- loading ----------------------------------------------------------------------
+    def load_shard(self, tag: str, shard_name: str) -> Any:
+        """Load one shard by name, validated against the manifest.
+
+        This is the restore half of the engine protocol:
+        :meth:`repro.core.CheckpointEngine.load` routes through here, so
+        every engine's restores share one validation + deserialization path.
+        """
+        manifest = self.manifest(tag)
+        for record in manifest.shards:
+            if record.name == shard_name:
+                return self._load_shard(tag, record)
+        recorded = sorted(record.name for record in manifest.shards)
+        raise RestartError(
+            f"checkpoint {tag!r} has no shard {shard_name!r} (has: {recorded[:4]} ...)"
+        )
+
     def load_rank(self, tag: str, rank: int) -> Any:
         """Load the state of one rank (single-shard-per-rank layout)."""
         manifest = self.manifest(tag)

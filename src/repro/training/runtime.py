@@ -117,9 +117,20 @@ class SimTrainingRun:
             raise ConfigurationError("data_parallel must be positive")
         self.run_config = run_config or RunConfig()
         self.platform = platform or PlatformSpec.polaris()
-        self.policy = (policy or CheckpointPolicy(
+        self.policy = policy or CheckpointPolicy(
             host_buffer_size=self.run_config.host_buffer_per_rank
-        )).with_overrides(checkpoint_interval=self.run_config.checkpoint_interval)
+        )
+        # RunConfig.checkpoint_interval is the single source of truth for the
+        # checkpoint schedule; a policy carrying the deprecated field must at
+        # least agree with it.
+        if (self.policy.checkpoint_interval is not None
+                and self.policy.checkpoint_interval != self.run_config.checkpoint_interval):
+            raise ConfigurationError(
+                f"conflicting checkpoint intervals: the deprecated "
+                f"CheckpointPolicy.checkpoint_interval={self.policy.checkpoint_interval} "
+                f"disagrees with RunConfig.checkpoint_interval="
+                f"{self.run_config.checkpoint_interval}; set it only on RunConfig"
+            )
         self.phases = phases or phases_for(runtime.model.name)
         self.engine_kwargs = dict(engine_kwargs or {})
 

@@ -37,9 +37,50 @@ def test_cli_figure_7_reduced_iterations(capsys):
     assert "paper_datastates" in out
 
 
+def test_cli_train_runs_real_engine(capsys, tmp_path):
+    code = main(["train", "--engine", "datastates", "--iterations", "2",
+                 "--hidden-size", "32", "--workdir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "DataStates-LLM" in out
+    assert "blocked_ms_per_iter" in out
+    assert (tmp_path / "datastates").is_dir()
+
+
+def test_cli_train_accepts_engine_aliases(capsys, tmp_path):
+    code = main(["train", "--engine", "sync", "--iterations", "1",
+                 "--hidden-size", "32", "--workdir", str(tmp_path)])
+    assert code == 0
+    assert "DeepSpeed (sync)" in capsys.readouterr().out
+
+
+def test_cli_compare_real_prints_all_engines(capsys, tmp_path):
+    code = main(["compare-real", "--iterations", "2", "--hidden-size", "32",
+                 "--workdir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in ("deepspeed", "async", "torchsnapshot", "datastates"):
+        assert name in out
+
+
+def test_cli_compare_real_engine_subset(capsys, tmp_path):
+    code = main(["compare-real", "--engines", "deepspeed", "datastates",
+                 "--iterations", "1", "--hidden-size", "32",
+                 "--workdir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "datastates" in out
+    assert "torchsnapshot" not in out
+
+
 def test_cli_rejects_unknown_model():
     with pytest.raises(SystemExit):
         main(["simulate", "--model", "175B"])
+
+
+def test_cli_rejects_unknown_real_engine():
+    with pytest.raises(SystemExit):
+        main(["train", "--engine", "nebula"])
 
 
 def test_cli_requires_subcommand():

@@ -10,7 +10,7 @@ from repro.core import (
     SynchronousCheckpointEngine,
     TwoPhaseCommitCoordinator,
 )
-from repro.exceptions import CheckpointError, ConsistencyError
+from repro.exceptions import CheckpointError, ConsistencyError, RestartError
 from repro.io import FileStore
 from repro.serialization import ShardRecord
 
@@ -176,7 +176,9 @@ def test_state_larger_than_buffer_is_streamed_through(store):
 
 
 def test_load_missing_checkpoint_raises(engine):
-    with pytest.raises(CheckpointError):
+    # load() routes through the CheckpointLoader restore path, which reports
+    # missing/uncommitted checkpoints as RestartError.
+    with pytest.raises(RestartError):
         engine.load("does-not-exist")
 
 
