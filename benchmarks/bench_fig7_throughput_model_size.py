@@ -1,6 +1,5 @@
 """Figure 7 — aggregate checkpoint throughput vs model size (DP=1, ckpt every iteration)."""
 
-import pytest
 
 from repro.analysis import (
     figure7_8_model_size_sweep,

@@ -1,0 +1,167 @@
+"""Benchmark regression gate for CI.
+
+Compares freshly produced ``BENCH_*.json`` results against the committed
+baseline copies and fails (exit code 1) when a tracked metric regressed by
+more than the threshold (default 25%):
+
+* ``BENCH_real_engines.json`` — per-engine ``blocked_ms_per_iteration``
+  (the training-visible checkpoint stall; higher is worse);
+* ``BENCH_io_fastpath.json`` — the tmpfs-backed, best-of-N-rounds timings:
+  the ``flush`` section and the ``shards_per_rank_sweep`` durable times.
+  The ``restore``/``save_stall`` sections are *tracked* in the JSON but not
+  gated: they are single-shot measurements against the runner's real disk,
+  whose throughput on shared CI VMs swings by 2-3x between runs of identical
+  code.
+
+Tiny absolute values are noise on shared CI runners, so a regression is only
+reported when the metric also moved by more than an absolute floor
+(``--min-ms`` for stall metrics, ``--min-seconds`` for timing metrics).
+
+Usage (what the ``bench`` CI job runs)::
+
+    cp -r benchmarks/results baseline          # before regenerating
+    pytest benchmarks/bench_real_engine.py -k "fastpath or sweep"
+    python benchmarks/check_regression.py --baseline baseline \
+        --fresh benchmarks/results
+
+A genuine, intended slowdown is acknowledged by applying the
+``perf-regression-ok`` label to the pull request (see README), which makes CI
+skip this gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+DEFAULT_THRESHOLD = 0.25
+#: Stall deltas below this many milliseconds are scheduler noise.
+DEFAULT_MIN_MS = 2.0
+#: Timing deltas below this many seconds are I/O noise.
+DEFAULT_MIN_SECONDS = 0.02
+
+REAL_ENGINES = "BENCH_real_engines.json"
+IO_FASTPATH = "BENCH_io_fastpath.json"
+
+
+def _load(path: Path) -> Dict:
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _worse(fresh: float, baseline: float, threshold: float, floor: float) -> bool:
+    """True when ``fresh`` regressed past both the relative and absolute bars."""
+    return fresh > baseline * (1.0 + threshold) and (fresh - baseline) > floor
+
+
+def check_real_engines(baseline: Dict, fresh: Dict, threshold: float,
+                       min_ms: float) -> List[str]:
+    """Regressions in blocked-ms/iteration, per engine."""
+    problems = []
+    for engine, base_row in sorted(baseline.items()):
+        fresh_row = fresh.get(engine)
+        if fresh_row is None:
+            problems.append(f"{REAL_ENGINES}: engine {engine!r} missing from fresh results")
+            continue
+        base_ms = float(base_row["blocked_ms_per_iteration"])
+        fresh_ms = float(fresh_row["blocked_ms_per_iteration"])
+        if _worse(fresh_ms, base_ms, threshold, min_ms):
+            problems.append(
+                f"{REAL_ENGINES}: {engine} blocked_ms_per_iteration regressed "
+                f"{base_ms:.3f} -> {fresh_ms:.3f} ms "
+                f"(+{(fresh_ms / base_ms - 1.0) * 100.0:.0f}%, threshold "
+                f"{threshold * 100.0:.0f}%)"
+            )
+    return problems
+
+
+def _fastpath_metrics(data: Dict) -> Iterator[Tuple[str, float]]:
+    """Gated (metric path, seconds) pairs of the I/O fast-path results.
+
+    Only the tmpfs-backed best-of-rounds measurements are gated (see module
+    docstring); ``restore``/``save_stall`` ride along in the JSON for trend
+    inspection but are too disk-noise-prone to fail a build on.
+    """
+    for key, value in data.get("flush", {}).items():
+        if key.endswith("_seconds"):
+            yield f"flush.{key}", float(value)
+    for shards, row in data.get("shards_per_rank_sweep", {}).items():
+        for key, value in row.items():
+            if key == "durable_seconds":
+                yield f"shards_per_rank_sweep[{shards}].{key}", float(value)
+
+
+def check_io_fastpath(baseline: Dict, fresh: Dict, threshold: float,
+                      min_seconds: float) -> List[str]:
+    """Regressions in the fast-path timing metrics (seconds; higher is worse)."""
+    problems = []
+    fresh_metrics = dict(_fastpath_metrics(fresh))
+    for metric, base_value in _fastpath_metrics(baseline):
+        fresh_value = fresh_metrics.get(metric)
+        if fresh_value is None:
+            problems.append(f"{IO_FASTPATH}: metric {metric!r} missing from fresh results")
+            continue
+        if _worse(fresh_value, base_value, threshold, min_seconds):
+            problems.append(
+                f"{IO_FASTPATH}: {metric} regressed {base_value:.4f}s -> "
+                f"{fresh_value:.4f}s (+{(fresh_value / base_value - 1.0) * 100.0:.0f}%, "
+                f"threshold {threshold * 100.0:.0f}%)"
+            )
+    return problems
+
+
+def compare_results(baseline_dir: Path, fresh_dir: Path,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    min_ms: float = DEFAULT_MIN_MS,
+                    min_seconds: float = DEFAULT_MIN_SECONDS) -> List[str]:
+    """All regressions between two results directories (empty list = pass)."""
+    problems: List[str] = []
+    checks = (
+        (REAL_ENGINES, lambda b, f: check_real_engines(b, f, threshold, min_ms)),
+        (IO_FASTPATH, lambda b, f: check_io_fastpath(b, f, threshold, min_seconds)),
+    )
+    for name, check in checks:
+        baseline_path = baseline_dir / name
+        fresh_path = fresh_dir / name
+        if not baseline_path.exists():
+            continue  # nothing committed to gate against
+        if not fresh_path.exists():
+            problems.append(f"{name}: fresh results were not produced")
+            continue
+        problems.extend(check(_load(baseline_path), _load(fresh_path)))
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory holding the committed BENCH_*.json baselines")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="directory holding the freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative slowdown that fails the gate (0.25 = 25%%)")
+    parser.add_argument("--min-ms", type=float, default=DEFAULT_MIN_MS,
+                        help="ignore stall regressions smaller than this (ms)")
+    parser.add_argument("--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+                        help="ignore timing regressions smaller than this (s)")
+    args = parser.parse_args(argv)
+
+    problems = compare_results(args.baseline, args.fresh, threshold=args.threshold,
+                               min_ms=args.min_ms, min_seconds=args.min_seconds)
+    if problems:
+        print("benchmark regression gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        print("(intended? apply the 'perf-regression-ok' PR label; see README)",
+              file=sys.stderr)
+        return 1
+    print("benchmark regression gate passed "
+          f"(threshold {args.threshold * 100.0:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

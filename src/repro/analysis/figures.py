@@ -10,10 +10,10 @@ experimental setup.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..checkpoint import ENGINE_NAMES
-from ..model import MODEL_SIZES, model_config, phase_breakdown_table, runtime_config
+from ..model import MODEL_SIZES, phase_breakdown_table, runtime_config
 from ..parallelism import checkpoint_size_summary
 from ..training.runtime import RunResult, simulate_run
 from . import paper_data

@@ -68,6 +68,7 @@ def compare_real_engines(
     hidden_size: int = 128,
     num_layers: int = 2,
     seed: int = 0,
+    policy: Optional[CheckpointPolicy] = None,
 ) -> List[Dict[str, object]]:
     """Per-engine blocked-time rows for every (or the given) engine name."""
     rows = []
@@ -76,6 +77,7 @@ def compare_real_engines(
             engine_name, workdir,
             iterations=iterations, checkpoint_interval=checkpoint_interval,
             hidden_size=hidden_size, num_layers=num_layers, seed=seed,
+            policy=policy,
         ))
     return rows
 

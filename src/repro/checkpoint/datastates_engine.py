@@ -154,22 +154,32 @@ class DataStatesEngine(SimCheckpointEngine):
     # -- background pipeline -------------------------------------------------------
     def _snapshot_and_flush(self, rank: int, iteration: int,
                             snapshot_done: Event, flush_done: Event) -> Generator:
-        """Coalesced D2H copies with streamlined per-shard flushing."""
+        """Coalesced D2H copies with streamlined per-shard flushing.
+
+        With ``policy.capture_streams > 1`` the rank's shards are dealt
+        round-robin across that many concurrent copy streams (they share the
+        fair-share PCIe link, so total D2H bandwidth is unchanged, but a slow
+        flush backing up one stream no longer stalls the copies of the
+        others).
+        """
         state = self.ranks[rank]
         shard_flush_events: List[Event] = []
-        for shard in state.plan.shards:
-            # Back-pressure: each shard claims ring space before its copy; if
-            # flushes of earlier checkpoints have not released enough space
-            # yet, the copy (and hence the next update) is delayed.
-            reserve_start = self.env.now
-            yield from state.host_buffer.reserve(shard.nbytes)
-            if self.env.now > reserve_start:
-                self._record(rank, "buffer_wait", reserve_start, self.env.now, shard.name)
-            copy_start = self.env.now
-            yield state.gpu.pcie.d2h(shard.nbytes, pinned=True, tag=f"rank{rank}-lazy-d2h")
-            self._record(rank, "d2h", copy_start, self.env.now, shard.name)
-            if self.policy.streamlined_flush:
-                shard_flush_events.append(self._start_shard_flush(rank, shard.nbytes, shard.name))
+        shards = list(state.plan.shards)
+        streams = max(1, int(self.policy.capture_streams))
+        if streams > 1 and len(shards) > 1:
+            lane_events: List[Event] = []
+            for lane_id in range(min(streams, len(shards))):
+                lane = shards[lane_id::streams]
+                lane_done = self.env.event()
+                lane_events.append(lane_done)
+                self.env.process(
+                    self._capture_lane(rank, lane, shard_flush_events, lane_done),
+                    name=f"ds-capture-r{rank}-i{iteration}-c{lane_id}",
+                )
+            yield self.env.all_of(lane_events)
+        else:
+            for shard in shards:
+                yield from self._capture_one(rank, shard, shard_flush_events)
         snapshot_done.succeed()
 
         if not self.policy.streamlined_flush:
@@ -194,6 +204,29 @@ class DataStatesEngine(SimCheckpointEngine):
             )
             self._record(rank, "commit", commit_start, self.env.now, f"iter{iteration}")
         flush_done.succeed()
+
+    def _capture_one(self, rank: int, shard, shard_flush_events: List[Event]) -> Generator:
+        """Reserve ring space, copy one shard D2H, and kick off its flush."""
+        state = self.ranks[rank]
+        # Back-pressure: each shard claims ring space before its copy; if
+        # flushes of earlier checkpoints have not released enough space
+        # yet, the copy (and hence the next update) is delayed.
+        reserve_start = self.env.now
+        yield from state.host_buffer.reserve(shard.nbytes)
+        if self.env.now > reserve_start:
+            self._record(rank, "buffer_wait", reserve_start, self.env.now, shard.name)
+        copy_start = self.env.now
+        yield state.gpu.pcie.d2h(shard.nbytes, pinned=True, tag=f"rank{rank}-lazy-d2h")
+        self._record(rank, "d2h", copy_start, self.env.now, shard.name)
+        if self.policy.streamlined_flush:
+            shard_flush_events.append(self._start_shard_flush(rank, shard.nbytes, shard.name))
+
+    def _capture_lane(self, rank: int, lane: List, shard_flush_events: List[Event],
+                      lane_done: Event) -> Generator:
+        """One concurrent capture stream: its share of the rank's shards, FIFO."""
+        for shard in lane:
+            yield from self._capture_one(rank, shard, shard_flush_events)
+        lane_done.succeed()
 
     def _start_shard_flush(self, rank: int, nbytes: int, label: str) -> Event:
         """Flush one shard on this rank's single flush stream (FIFO).
@@ -227,7 +260,20 @@ class DataStatesEngine(SimCheckpointEngine):
                 # while the drain to the PFS continues in the background.
                 state.host_buffer.release(nbytes)
             start = self.env.now
-            yield self.cluster.pfs.write(flush_bytes, new_file=True, tag=f"rank{rank}-stream-flush")
+            stripes = max(1, int(self.policy.shards_per_rank))
+            if stripes == 1:
+                yield self.cluster.pfs.write(flush_bytes, new_file=True,
+                                             tag=f"rank{rank}-stream-flush")
+            else:
+                # Multi-shard-per-rank layout: the logical shard is spread
+                # over `stripes` files written concurrently, each stream
+                # individually capped (its own client/OST pair) and each
+                # paying its own per-file metadata cost.
+                yield self.env.all_of([
+                    self.cluster.pfs.write(flush_bytes / stripes, new_file=True,
+                                           tag=f"rank{rank}-stream-flush-s{stripe}")
+                    for stripe in range(stripes)
+                ])
             self._record(rank, "flush", start, self.env.now, label)
             if not self.flush_via_nvme:
                 state.host_buffer.release(nbytes)

@@ -38,6 +38,7 @@ from .analysis import (
     table1_model_zoo,
 )
 from .checkpoint import ENGINE_NAMES
+from .config import CheckpointPolicy
 from .core import canonical_engine_name
 from .exceptions import ConfigurationError
 from .model import MODEL_SIZES
@@ -57,6 +58,14 @@ def _build_parser() -> argparse.ArgumentParser:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_layout_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--shards-per-rank", type=int, default=1,
+                         help="spread each rank's state over N shard files "
+                              "(multi-shard layout; 1 = classic single shard)")
+        cmd.add_argument("--capture-streams", type=int, default=1,
+                         help="concurrent snapshot capture streams feeding the "
+                              "shard-set (DataStates engine)")
+
     simulate = sub.add_parser("simulate", help="simulate one training run")
     simulate.add_argument("--model", choices=MODEL_SIZES, default="13B")
     simulate.add_argument("--engine", type=_engine_name, choices=ENGINE_NAMES,
@@ -64,6 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--iterations", type=int, default=5)
     simulate.add_argument("--checkpoint-interval", type=int, default=1)
     simulate.add_argument("--data-parallel", type=int, default=1)
+    add_layout_args(simulate)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("number", choices=["3", "4", "7", "8", "9", "10", "11", "12"])
@@ -79,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--layers", type=int, default=2)
         cmd.add_argument("--workdir", default=None,
                          help="checkpoint directory (default: a fresh temp dir)")
+        add_layout_args(cmd)
 
     train = sub.add_parser(
         "train", help="train the real NumPy transformer under one engine")
@@ -97,12 +108,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _layout_policy(args: argparse.Namespace,
+                   host_buffer_size: Optional[int] = None) -> Optional[CheckpointPolicy]:
+    """Build a policy only when a non-default layout knob was given.
+
+    ``host_buffer_size`` must always be pinned explicitly: the dataclass
+    default (16 GB, the simulator's per-rank budget) would make a real-mode
+    engine allocate a 16 GB pinned pool the moment any layout flag is used.
+    """
+    if args.shards_per_rank == 1 and args.capture_streams == 1:
+        return None
+    from .core.base_engine import DEFAULT_HOST_BUFFER_SIZE
+
+    return CheckpointPolicy(
+        shards_per_rank=args.shards_per_rank,
+        capture_streams=args.capture_streams,
+        host_buffer_size=host_buffer_size or DEFAULT_HOST_BUFFER_SIZE,
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .config import RunConfig
+
+    policy = _layout_policy(args,
+                            host_buffer_size=RunConfig().host_buffer_per_rank)
     result = simulate_run(
         args.model, args.engine,
         data_parallel=args.data_parallel,
         iterations=args.iterations,
         checkpoint_interval=args.checkpoint_interval,
+        policy=policy,
     )
     print(format_table([result.summary()], title="Simulated run"))
     return 0
@@ -148,6 +183,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         args.engine, workdir,
         iterations=args.iterations, checkpoint_interval=args.checkpoint_interval,
         hidden_size=args.hidden_size, num_layers=args.layers,
+        policy=_layout_policy(args),
     )
     print(format_table(comparison_table_rows([row]),
                        title=f"Real-mode training ({row['label']})"))
@@ -161,6 +197,7 @@ def _cmd_compare_real(args: argparse.Namespace) -> int:
         workdir, engines=args.engines,
         iterations=args.iterations, checkpoint_interval=args.checkpoint_interval,
         hidden_size=args.hidden_size, num_layers=args.layers,
+        policy=_layout_policy(args),
     )
     print(format_table(
         comparison_table_rows(rows),

@@ -8,8 +8,8 @@ shared parallel file system.  Global rank numbering is node-major:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import List
 
 from ..config import PlatformSpec
 from ..exceptions import ConfigurationError

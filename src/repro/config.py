@@ -17,12 +17,10 @@ Keeping every calibration constant in one documented place makes the
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from .exceptions import ConfigurationError
-from .units import GB, gbps, gib
+from .units import GB, gbps
 
 
 @dataclass(frozen=True)
@@ -181,14 +179,16 @@ class CheckpointPolicy:
     #: Chunk size used when streaming tensors (TorchSnapshot-style chunking
     #: and DataStates streaming flushes).
     chunk_size: int = 64 * 1024 * 1024
-    #: .. deprecated:: 1.1
-    #:    *When* to checkpoint is run scheduling, not engine configuration:
-    #:    :attr:`RunConfig.checkpoint_interval` (and the ``checkpoint_interval``
-    #:    argument of the trainers) is the single source of truth.  Setting
-    #:    this field emits a :class:`DeprecationWarning`; a value that
-    #:    conflicts with the run configuration is a
-    #:    :class:`~repro.exceptions.ConfigurationError`.
-    checkpoint_interval: Optional[int] = None
+    #: Multi-shard-per-rank layout: how many shard files one rank's state is
+    #: spread across (greedy size-balanced binning).  ``1`` is the original
+    #: single-shard layout, byte-identical to earlier releases.  Raising it
+    #: lets the flush side drive several file streams (and several OSTs of a
+    #: striped PFS) concurrently and unlocks per-shard capture/flush overlap.
+    shards_per_rank: int = 1
+    #: Number of concurrent device-to-host snapshot copy streams feeding the
+    #: shard-set (DataStates engine).  ``1`` is the original single copy
+    #: stream; more streams let capture keep up with a multi-shard flush.
+    capture_streams: int = 1
     #: Whether D2H snapshots may lazily overlap the next iteration's forward
     #: and backward passes (the DataStates contribution).  Baselines set this
     #: to False.
@@ -223,16 +223,10 @@ class CheckpointPolicy:
             raise ConfigurationError("flush_threads must be positive")
         if self.chunk_size <= 0:
             raise ConfigurationError("chunk_size must be positive")
-        if self.checkpoint_interval is not None:
-            if self.checkpoint_interval <= 0:
-                raise ConfigurationError("checkpoint_interval must be positive")
-            warnings.warn(
-                "CheckpointPolicy.checkpoint_interval is deprecated; the "
-                "checkpoint schedule lives in RunConfig.checkpoint_interval "
-                "(or the trainer's checkpoint_interval argument)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
+        if self.shards_per_rank <= 0:
+            raise ConfigurationError("shards_per_rank must be positive")
+        if self.capture_streams <= 0:
+            raise ConfigurationError("capture_streams must be positive")
 
     def with_overrides(self, **kwargs: object) -> "CheckpointPolicy":
         """Return a copy of this policy with selected fields replaced."""

@@ -31,7 +31,7 @@ from ..config import CheckpointPolicy
 from ..exceptions import CheckpointError
 from ..io import FileStore
 from ..logging_utils import get_logger
-from ..serialization import ShardHeader, ShardRecord, build_header
+from ..serialization import ShardPlan, build_header
 from ..tensor import flatten_state_dict, tensor_payload_array
 from .base_engine import CheckpointEngine
 from .consolidation import TwoPhaseCommitCoordinator
@@ -73,8 +73,8 @@ class AsyncCheckpointHandle:
         self._done.set()
 
 
-#: One queued flush: (handle, header, skeleton, per-tensor views, iteration).
-_FlushItem = Tuple[AsyncCheckpointHandle, ShardHeader, bytes, List[memoryview], int]
+#: One queued flush: (handle, shard plan, per-global-tensor views, iteration).
+_FlushItem = Tuple[AsyncCheckpointHandle, ShardPlan, List[memoryview], int]
 
 
 class AsyncCheckpointEngine(CheckpointEngine):
@@ -114,7 +114,7 @@ class AsyncCheckpointEngine(CheckpointEngine):
 
         flattened = flatten_state_dict(state)
         header = build_header(flattened)
-        skeleton = flattened.skeleton_bytes()
+        plan = self.plan_shards(flattened, shard)
 
         # Blocking D2H capture into a freshly allocated per-checkpoint buffer
         # (CheckFreq pays this allocation on every request; DataStates
@@ -125,6 +125,7 @@ class AsyncCheckpointEngine(CheckpointEngine):
             buffer[entry.offset:entry.offset + entry.nbytes] = \
                 array.view(np.uint8).reshape(-1)
 
+        # One view per *global* tensor; each shard-set part indexes into them.
         views = [memoryview(buffer)[entry.offset:entry.offset + entry.nbytes]
                  for entry in header.entries]
         handle = AsyncCheckpointHandle(tag, shard)
@@ -134,7 +135,7 @@ class AsyncCheckpointEngine(CheckpointEngine):
             self._handles = [h for h in self._handles
                              if not h._done.is_set() or h.error is not None]
             self._handles.append(handle)
-        self._queue.put((handle, header, skeleton, views, iteration))
+        self._queue.put((handle, plan, views, iteration))
         return handle
 
     def _flush_loop(self) -> None:
@@ -144,19 +145,25 @@ class AsyncCheckpointEngine(CheckpointEngine):
                 return
             self._flush(*item)
 
-    def _flush(self, handle: AsyncCheckpointHandle, header: ShardHeader,
-               skeleton: bytes, views: List[memoryview], iteration: int) -> None:
+    def _flush(self, handle: AsyncCheckpointHandle, plan: ShardPlan,
+               views: List[memoryview], iteration: int) -> None:
         try:
-            nbytes, checksum = self._write_streaming_shard(
-                handle.tag, handle.shard_name, header, skeleton, views)
-            record = ShardRecord(rank=self.rank, name=handle.shard_name,
-                                 nbytes=nbytes, checksum=checksum)
-            self.coordinator.vote(handle.tag, self.rank, [record], iteration=iteration)
+            records = []
+            results = []
+            for part in plan.parts:
+                part_views = [views[index] for index in part.global_indices]
+                nbytes, checksum = self._write_streaming_shard(
+                    handle.tag, part.name, part.header, plan.skeleton, part_views)
+                record = self._part_record(plan, part, nbytes, checksum)
+                records.append(record)
+                results.append(FlushResult(tag=handle.tag, shard_name=part.name,
+                                           nbytes=nbytes, checksum=checksum,
+                                           record=record))
+            self.coordinator.vote(handle.tag, self.rank, records, iteration=iteration)
             with self._lock:
                 self._voted_tags.add(handle.tag)
-            handle._finish(FlushResult(tag=handle.tag, shard_name=handle.shard_name,
-                                       nbytes=nbytes, checksum=checksum,
-                                       record=record), None)
+            handle._finish(self._combine_results(handle.tag, handle.shard_name,
+                                                 results), None)
         except BaseException as exc:  # noqa: BLE001 - surfaced via the handle
             logger.error("background flush of %s/%s failed: %s",
                          handle.tag, handle.shard_name, exc)

@@ -55,7 +55,15 @@ from ..config import CheckpointPolicy
 from ..exceptions import CheckpointError
 from ..io import FileStore
 from ..logging_utils import get_logger
-from ..serialization import ShardHeader, ShardRecord, iter_shard_chunks
+from ..serialization import (
+    ShardHeader,
+    ShardPart,
+    ShardPlan,
+    ShardRecord,
+    iter_shard_chunks,
+    plan_shards,
+)
+from ..tensor import FlattenedState
 from .consolidation import TwoPhaseCommitCoordinator
 from .flush_pipeline import FlushResult
 
@@ -189,8 +197,50 @@ class CheckpointEngine(abc.ABC):
 
     # ---------------------------------------------------------------- helpers
     def default_shard_name(self) -> str:
-        """This rank's shard file name in the one-shard-per-rank layout."""
+        """This rank's logical shard name (the shard-set base name)."""
         return f"rank{self.rank}"
+
+    def plan_shards(self, flattened: FlattenedState, base_name: str) -> ShardPlan:
+        """Partition this rank's state per ``policy.shards_per_rank``.
+
+        Every engine saves through the resulting plan: one part with the
+        default policy (byte-identical to the original layout), several
+        size-balanced parts otherwise.
+        """
+        return plan_shards(flattened, base_name,
+                           shards_per_rank=self.policy.shards_per_rank)
+
+    def _part_record(self, plan: ShardPlan, part: ShardPart, nbytes: int,
+                     checksum: Optional[int],
+                     tensor_checksums: Optional[Tuple[Optional[int], ...]] = None,
+                     ) -> ShardRecord:
+        """Manifest record of one written part (set fields only when multi)."""
+        multi = not plan.is_single
+        return ShardRecord(
+            rank=self.rank,
+            name=part.name,
+            nbytes=nbytes,
+            checksum=checksum,
+            tensor_checksums=tensor_checksums,
+            group=plan.base_name if multi else None,
+            part_index=part.part_index if multi else None,
+            num_parts=plan.num_parts if multi else None,
+        )
+
+    @staticmethod
+    def _combine_results(tag: str, base_name: str,
+                         results: Sequence[FlushResult]) -> FlushResult:
+        """Aggregate per-part flush results into one rank-level result."""
+        if len(results) == 1:
+            return results[0]
+        return FlushResult(
+            tag=tag,
+            shard_name=base_name,
+            nbytes=sum(result.nbytes for result in results),
+            checksum=results[0].checksum,
+            record=results[0].record,
+            parts=tuple(results),
+        )
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -217,11 +267,13 @@ class CheckpointEngine(abc.ABC):
         receipt = self.store.write_shard(tag, shard_name, chunks())
         return receipt.nbytes, checksum
 
-    def _vote_and_wait_commit(self, tag: str, record: ShardRecord, iteration: int,
+    def _vote_and_wait_commit(self, tag: str, records: Sequence[ShardRecord],
+                              iteration: int,
                               timeout: Optional[float] = None) -> None:
-        """Cast this rank's vote and block until ``tag`` is globally committed
-        (the blocking half of the synchronous engines' save contract)."""
-        self.coordinator.vote(tag, self.rank, [record], iteration=iteration)
+        """Cast this rank's vote (all of its shard records at once) and block
+        until ``tag`` is globally committed (the blocking half of the
+        synchronous engines' save contract)."""
+        self.coordinator.vote(tag, self.rank, list(records), iteration=iteration)
         if not self.coordinator.wait_committed(tag, timeout=timeout):
             raise CheckpointError(
                 f"timed out waiting for checkpoint {tag!r} to commit "

@@ -25,6 +25,7 @@ the model (the update phase).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -32,33 +33,65 @@ from ..config import CheckpointPolicy
 from ..io import FileStore
 from ..logging_utils import get_logger
 from ..memory import PinnedHostPool
-from ..serialization import build_header
 from ..tensor import flatten_state_dict
 from ..exceptions import CheckpointError
 from .base_engine import CheckpointEngine
 from .consolidation import TwoPhaseCommitCoordinator
 from .flush_pipeline import FlushPipeline, FlushResult, ShardFlushJob
-from .lazy_snapshot import CopyStream, SnapshotJob
+from .lazy_snapshot import CopyStream, SnapshotJob, deadline_iter
 
 logger = get_logger(__name__)
 
 
 @dataclass
 class CheckpointHandle:
-    """Tracks one in-flight checkpoint request of this rank."""
+    """Tracks one in-flight checkpoint request of this rank.
+
+    A request fans out into one ``(snapshot, flush)`` pair per shard-set part
+    (a single pair in the default one-shard-per-rank layout); the waits drain
+    every part.
+    """
 
     tag: str
     shard_name: str
-    snapshot: SnapshotJob
-    flush: ShardFlushJob
+    snapshots: List[SnapshotJob]
+    flushes: List[ShardFlushJob]
+
+    @property
+    def snapshot(self) -> SnapshotJob:
+        """The (first) snapshot job — the whole job in the single-shard layout."""
+        return self.snapshots[0]
+
+    @property
+    def flush(self) -> ShardFlushJob:
+        """The (first) flush job — the whole job in the single-shard layout."""
+        return self.flushes[0]
 
     def wait_captured(self, timeout: Optional[float] = None) -> bool:
-        """Wait for the device-to-host capture (consistency gate)."""
-        return self.snapshot.wait_captured(timeout=timeout)
+        """Wait for every part's device-to-host capture (consistency gate).
+
+        ``timeout`` bounds the whole wait (a shared deadline), not each part.
+        """
+        for snapshot, remaining in deadline_iter(self.snapshots, timeout):
+            if not snapshot.wait_captured(timeout=remaining):
+                return False
+        return True
 
     def wait_durable(self, timeout: Optional[float] = None) -> FlushResult:
-        """Wait until the shard file is durably written."""
-        return self.flush.wait(timeout=timeout)
+        """Wait until every shard file of the set is durably written.
+
+        ``timeout`` bounds the whole wait (a shared deadline), not each part.
+        """
+        results = [flush.wait(timeout=remaining)
+                   for flush, remaining in deadline_iter(self.flushes, timeout)]
+        return CheckpointEngine._combine_results(self.tag, self.shard_name, results)
+
+    def _done_or_failed(self) -> bool:
+        """True once every flush retired; failed parts keep the handle live."""
+        return all(flush.done.is_set() for flush in self.flushes)
+
+    def _has_error(self) -> bool:
+        return any(flush.error is not None for flush in self.flushes)
 
 
 class DataStatesCheckpointEngine(CheckpointEngine):
@@ -79,12 +112,23 @@ class DataStatesCheckpointEngine(CheckpointEngine):
                          coordinator=coordinator, policy=policy,
                          host_buffer_size=host_buffer_size)
         self.pool = PinnedHostPool(self.policy.host_buffer_size)
-        self.copy_stream = CopyStream(self.pool, name=f"d2h-copy-r{rank}")
+        #: ``policy.capture_streams`` concurrent snapshot workers; shard-set
+        #: parts are dealt round-robin across them so several device-to-host
+        #: copies feed several shard files at once.
+        self.copy_streams = [
+            CopyStream(self.pool, name=f"d2h-copy-r{rank}-c{index}")
+            for index in range(self.policy.capture_streams)
+        ]
+        self.copy_stream = self.copy_streams[0]
+        # Every concurrently-captured shard needs a flush worker able to drain
+        # it, otherwise a full pool with interleaved allocations could leave a
+        # capture stream waiting on space only a queued-behind flush would
+        # free (deadlock); size the pool to the capture parallelism.
         self.pipeline = FlushPipeline(
             store,
             self.pool,
             rank=rank,
-            flush_threads=self.policy.flush_threads,
+            flush_threads=max(self.policy.flush_threads, self.policy.capture_streams),
             chunk_size=self.policy.chunk_size,
             parallel_shard_writes=self.policy.parallel_shard_writes,
         )
@@ -109,36 +153,63 @@ class DataStatesCheckpointEngine(CheckpointEngine):
         self._count_request()
         shard = shard_name or self.default_shard_name()
 
-        # Phase 1-2: flatten the object tree and compute file offsets.
+        # Phase 1-2: flatten the object tree, partition it into the shard-set,
+        # and compute per-file offsets.
         flattened = flatten_state_dict(state)
-        header = build_header(flattened)
-        skeleton = flattened.skeleton_bytes()
-        largest = max((entry.nbytes for entry in header.entries), default=0)
+        plan = self.plan_shards(flattened, shard)
+        largest = max((ref.nbytes for ref in flattened.tensors), default=0)
         if largest > self.pool.capacity:
             raise CheckpointError(
                 f"tensor of {largest} bytes exceeds the host staging buffer "
                 f"({self.pool.capacity} bytes); increase host_buffer_size"
             )
 
-        snapshot = SnapshotJob(tag=tag, shard_name=shard, header=header,
-                               skeleton=skeleton, tensors=flattened.tensors)
+        multi = not plan.is_single
+        snapshots = [
+            SnapshotJob(tag=tag, shard_name=part.name, header=part.header,
+                        skeleton=plan.skeleton, tensors=part.tensors,
+                        group=plan.base_name if multi else None,
+                        part_index=part.part_index if multi else None,
+                        num_parts=plan.num_parts if multi else None)
+            for part in plan.parts
+        ]
 
-        # Phase 4-5 completion callback: vote once this rank's shard is durable.
-        def on_durable(result: FlushResult) -> None:
-            self.coordinator.vote(tag, self.rank, [result.record], iteration=iteration)
-            with self._lock:
-                self._voted_tags.add(tag)
+        # Phase 4-5 completion callback: the vote is cast only once *every*
+        # part of this rank's shard-set is durable (a rank votes exactly once
+        # per tag, with all of its records).
+        vote_lock = threading.Lock()
+        part_records: List[Optional[object]] = [None] * len(snapshots)
+        remaining = [len(snapshots)]
 
-        # Phase 3: lazy capture on the copy stream; phase 4: streaming flush.
-        self.copy_stream.submit(snapshot)
-        flush_job = self.pipeline.submit(snapshot, on_durable=on_durable)
+        def on_durable_for(index: int):
+            def on_durable(result: FlushResult) -> None:
+                with vote_lock:
+                    part_records[index] = result.record
+                    remaining[0] -= 1
+                    last = remaining[0] == 0
+                if last:
+                    self.coordinator.vote(tag, self.rank, list(part_records),
+                                          iteration=iteration)
+                    with self._lock:
+                        self._voted_tags.add(tag)
+            return on_durable
 
-        handle = CheckpointHandle(tag=tag, shard_name=shard, snapshot=snapshot, flush=flush_job)
+        # Phase 3: lazy captures, dealt round-robin across the copy streams;
+        # phase 4: one streaming/parallel flush per part, so capture and flush
+        # overlap per shard.
+        flush_jobs = []
+        for index, snapshot in enumerate(snapshots):
+            self.copy_streams[index % len(self.copy_streams)].submit(snapshot)
+            flush_jobs.append(
+                self.pipeline.submit(snapshot, on_durable=on_durable_for(index)))
+
+        handle = CheckpointHandle(tag=tag, shard_name=shard,
+                                  snapshots=snapshots, flushes=flush_jobs)
         with self._lock:
             # Retired-and-successful handles are done with; failed ones are
             # kept so the next wait point surfaces their error.
             self._handles = [h for h in self._handles
-                             if not h.flush.done.is_set() or h.flush.error is not None]
+                             if not h._done_or_failed() or h._has_error()]
             self._handles.append(handle)
         return handle
 
@@ -148,9 +219,11 @@ class DataStatesCheckpointEngine(CheckpointEngine):
 
         This is the consistency gate that must precede the optimizer update:
         once it returns, every tensor of every outstanding request has been
-        copied off the training state and may be mutated freely.
+        copied off the training state and may be mutated freely.  ``timeout``
+        bounds the whole gate, not each stream.
         """
-        self.copy_stream.wait_idle(timeout=timeout)
+        for stream, remaining in deadline_iter(self.copy_streams, timeout):
+            stream.wait_idle(timeout=remaining)
 
     def wait_for_flushes(self, timeout: Optional[float] = None) -> List[FlushResult]:
         """Block until every outstanding shard write of this rank is durable."""
@@ -191,6 +264,7 @@ class DataStatesCheckpointEngine(CheckpointEngine):
 
     # ---------------------------------------------------------------- shutdown
     def _release_resources(self, wait: bool = True) -> None:
-        self.copy_stream.shutdown()
+        for stream in self.copy_streams:
+            stream.shutdown()
         self.pipeline.shutdown(wait=wait)
         self.pool.close()

@@ -166,13 +166,20 @@ class ParallelShardWrite:
 
 @dataclass
 class FlushResult:
-    """Outcome of flushing one shard."""
+    """Outcome of flushing one shard (or, aggregated, one rank's shard-set).
+
+    For a multi-shard-per-rank save the engines hand back one rank-level
+    result whose ``nbytes`` sums the set and whose ``parts`` holds the
+    individual per-file results; ``checksum``/``record`` then refer to the
+    set's first part.
+    """
 
     tag: str
     shard_name: str
     nbytes: int
     checksum: int
     record: ShardRecord
+    parts: Optional[Tuple["FlushResult", ...]] = None
 
 
 class ShardFlushJob:
@@ -316,8 +323,7 @@ class FlushPipeline:
                 ) from capture_error
 
         receipt = self.store.write_shard(snapshot.tag, snapshot.shard_name, chunks())
-        record = ShardRecord(rank=self.rank, name=snapshot.shard_name,
-                             nbytes=receipt.nbytes, checksum=checksum)
+        record = self._snapshot_record(snapshot, receipt.nbytes, checksum)
         return FlushResult(tag=snapshot.tag, shard_name=snapshot.shard_name,
                            nbytes=receipt.nbytes, checksum=checksum, record=record)
 
@@ -379,11 +385,21 @@ class FlushPipeline:
             if not queue_drained:
                 self._drain_staged(snapshot)
             raise
-        record = ShardRecord(rank=self.rank, name=snapshot.shard_name,
-                             nbytes=receipt.nbytes, checksum=checksum,
-                             tensor_checksums=shard_write.tensor_checksums())
+        record = self._snapshot_record(snapshot, receipt.nbytes, checksum,
+                                       tensor_checksums=shard_write.tensor_checksums())
         return FlushResult(tag=snapshot.tag, shard_name=snapshot.shard_name,
                            nbytes=receipt.nbytes, checksum=checksum, record=record)
+
+    def _snapshot_record(self, snapshot: SnapshotJob, nbytes: int, checksum: int,
+                         tensor_checksums=None) -> ShardRecord:
+        """Manifest record for one flushed snapshot, carrying its shard-set
+        placement (multi-shard-per-rank layout) when the job has one."""
+        return ShardRecord(rank=self.rank, name=snapshot.shard_name,
+                           nbytes=nbytes, checksum=checksum,
+                           tensor_checksums=tensor_checksums,
+                           group=snapshot.group,
+                           part_index=snapshot.part_index,
+                           num_parts=snapshot.num_parts)
 
     def _drain_staged(self, snapshot: SnapshotJob) -> None:
         """Consume and free every staged tensor after a setup failure, so the

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +34,23 @@ logger = get_logger(__name__)
 _END_OF_SNAPSHOT = None
 
 
+def deadline_iter(items, timeout: Optional[float]):
+    """Yield ``(item, remaining_timeout)`` pairs against one shared deadline.
+
+    The waiting-on-many-parts primitive of the multi-shard layout: with
+    ``timeout=None`` every item waits unboundedly; otherwise the caller's
+    timeout bounds the *total* wait across all items (a zero remainder is
+    floored at a tiny positive value so the underlying wait still polls once).
+    """
+    if timeout is None:
+        for item in items:
+            yield item, None
+        return
+    deadline = time.monotonic() + timeout
+    for item in items:
+        yield item, max(deadline - time.monotonic(), 1e-6)
+
+
 @dataclass
 class StagedTensor:
     """One tensor payload sitting in the pinned staging pool, ready to flush."""
@@ -42,15 +60,28 @@ class StagedTensor:
 
 
 class SnapshotJob:
-    """The capture half of one checkpoint request."""
+    """The capture half of one checkpoint request (one shard file's worth).
+
+    In the multi-shard-per-rank layout one checkpoint request fans out into
+    several jobs — one per :class:`~repro.serialization.ShardPart` — each fed
+    by its own capture stream and flushed independently; ``group``/
+    ``part_index``/``num_parts`` identify the job's place in the rank's
+    shard-set so the flush pipeline can stamp the manifest records.
+    """
 
     def __init__(self, tag: str, shard_name: str, header: ShardHeader,
-                 skeleton: bytes, tensors: Sequence[TensorRef]) -> None:
+                 skeleton: bytes, tensors: Sequence[TensorRef],
+                 group: Optional[str] = None,
+                 part_index: Optional[int] = None,
+                 num_parts: Optional[int] = None) -> None:
         self.tag = tag
         self.shard_name = shard_name
         self.header = header
         self.skeleton = skeleton
         self.tensors = list(tensors)
+        self.group = group
+        self.part_index = part_index
+        self.num_parts = num_parts
         self.staged: "queue.Queue[Optional[StagedTensor]]" = queue.Queue()
         self._captured = threading.Event()
         self._error: Optional[BaseException] = None
@@ -131,11 +162,12 @@ class CopyStream:
 
     def wait_idle(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted capture has finished (the engine's
-        ``wait_for_snapshot`` primitive)."""
+        ``wait_for_snapshot`` primitive).  ``timeout`` bounds the whole wait,
+        not each pending capture."""
         with self._lock:
             pending = list(self._pending)
-        for job in pending:
-            if not job.wait_captured(timeout=timeout):
+        for job, remaining in deadline_iter(pending, timeout):
+            if not job.wait_captured(timeout=remaining):
                 raise CheckpointError(
                     f"timed out waiting for snapshot {job.tag}/{job.shard_name}"
                 )

@@ -23,7 +23,8 @@ from typing import Any, Optional
 
 from ..config import CheckpointPolicy
 from ..io import FileStore
-from ..serialization import ShardRecord, checksum_bytes, serialize_state
+from ..serialization import checksum_bytes, serialize_part
+from ..tensor import flatten_state_dict
 from .base_engine import CheckpointEngine, CompletedCheckpointHandle
 from .consolidation import TwoPhaseCommitCoordinator
 from .flush_pipeline import FlushResult
@@ -50,15 +51,26 @@ class SynchronousCheckpointEngine(CheckpointEngine):
 
     def save(self, state: Any, tag: str, iteration: int = -1,
              shard_name: Optional[str] = None) -> CompletedCheckpointHandle:
-        """Blocking checkpoint of ``state``: durable *and* committed on return."""
+        """Blocking checkpoint of ``state``: durable *and* committed on return.
+
+        With ``policy.shards_per_rank > 1`` the state is serialized and
+        written one shard-set part at a time (still sequentially — this
+        baseline has no write parallelism by design).
+        """
         self._ensure_open()
         self._count_request()
         shard = shard_name or self.default_shard_name()
-        raw = serialize_state(state)
-        receipt = self.store.write_shard(tag, shard, [raw])
-        record = ShardRecord(rank=self.rank, name=shard, nbytes=receipt.nbytes,
-                             checksum=checksum_bytes(raw))
-        self._vote_and_wait_commit(tag, record, iteration, timeout=self.commit_timeout)
-        result = FlushResult(tag=tag, shard_name=shard, nbytes=receipt.nbytes,
-                             checksum=record.checksum, record=record)
+        plan = self.plan_shards(flatten_state_dict(state), shard)
+        records = []
+        results = []
+        for part in plan.parts:
+            raw = serialize_part(part, plan.skeleton)
+            receipt = self.store.write_shard(tag, part.name, [raw])
+            record = self._part_record(plan, part, receipt.nbytes, checksum_bytes(raw))
+            records.append(record)
+            results.append(FlushResult(tag=tag, shard_name=part.name,
+                                       nbytes=receipt.nbytes,
+                                       checksum=record.checksum, record=record))
+        self._vote_and_wait_commit(tag, records, iteration, timeout=self.commit_timeout)
+        result = self._combine_results(tag, shard, results)
         return CompletedCheckpointHandle(tag=tag, shard_name=shard, result=result)

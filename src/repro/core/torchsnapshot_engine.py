@@ -15,14 +15,12 @@ byte-identical to every other engine's shards.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
-
-import numpy as np
+from typing import Any, Optional
 
 from ..config import CheckpointPolicy
 from ..io import FileStore, FlushWorkerPool
-from ..serialization import ShardRecord, build_header, encode_preamble
-from ..tensor import flatten_state_dict, tensor_payload_array
+from ..serialization import encode_preamble, iter_part_payloads
+from ..tensor import flatten_state_dict
 from .base_engine import CheckpointEngine, CompletedCheckpointHandle
 from .consolidation import TwoPhaseCommitCoordinator
 from .flush_pipeline import FlushResult, ParallelShardWrite
@@ -53,66 +51,84 @@ class TorchSnapshotCheckpointEngine(CheckpointEngine):
     def save(self, state: Any, tag: str, iteration: int = -1,
              shard_name: Optional[str] = None) -> CompletedCheckpointHandle:
         """Blocking checkpoint: chunked parallel write, durable and committed
-        (for this rank's part of the collective) before returning."""
+        (for this rank's part of the collective) before returning.
+
+        With ``policy.shards_per_rank > 1`` the writer pool fans out over
+        every part of the shard-set at once, so several files (and several
+        OSTs of a striped PFS) are written concurrently.
+        """
         self._ensure_open()
         self._count_request()
         shard = shard_name or self.default_shard_name()
-
-        flattened = flatten_state_dict(state)
-        header = build_header(flattened)
-        skeleton = flattened.skeleton_bytes()
-        # Blocking capture: materialise every tensor as contiguous bytes.  No
-        # overlap with training — save() holds the training thread anyway.
-        payloads = [
-            np.ascontiguousarray(tensor_payload_array(ref)).view(np.uint8).reshape(-1)
-            for ref in flattened.tensors
-        ]
+        plan = self.plan_shards(flatten_state_dict(state), shard)
 
         if callable(getattr(self.store, "create_shard_writer", None)):
-            nbytes, checksum, tensor_crcs = self._write_parallel(
-                tag, shard, header, skeleton, payloads)
-            record = ShardRecord(rank=self.rank, name=shard, nbytes=nbytes,
-                                 checksum=checksum, tensor_checksums=tensor_crcs)
+            records, results = self._write_parallel_set(tag, plan)
         else:
-            nbytes, checksum = self._write_streaming_shard(
-                tag, shard, header, skeleton, [memoryview(p) for p in payloads])
-            record = ShardRecord(rank=self.rank, name=shard, nbytes=nbytes,
-                                 checksum=checksum)
+            records, results = [], []
+            for part in plan.parts:
+                views = [memoryview(payload)
+                         for _entry, payload in iter_part_payloads(part)]
+                nbytes, checksum = self._write_streaming_shard(
+                    tag, part.name, part.header, plan.skeleton, views)
+                record = self._part_record(plan, part, nbytes, checksum)
+                records.append(record)
+                results.append(FlushResult(tag=tag, shard_name=part.name,
+                                           nbytes=nbytes, checksum=checksum,
+                                           record=record))
 
-        self._vote_and_wait_commit(tag, record, iteration, timeout=self.commit_timeout)
-        result = FlushResult(tag=tag, shard_name=shard, nbytes=nbytes,
-                             checksum=checksum, record=record)
+        self._vote_and_wait_commit(tag, records, iteration, timeout=self.commit_timeout)
+        result = self._combine_results(tag, shard, results)
         return CompletedCheckpointHandle(tag=tag, shard_name=shard, result=result)
 
     # ------------------------------------------------------------ write paths
-    def _write_parallel(self, tag: str, shard: str, header, skeleton: bytes,
-                        payloads: List[np.ndarray]):
-        """Fan tensors out to the writer pool; chunked pwrites at final offsets."""
-        preamble = encode_preamble(header, skeleton)
-        total_bytes = len(preamble) + header.payload_bytes
-        writer = self.store.create_shard_writer(tag, shard, total_bytes)
+    def _write_parallel_set(self, tag: str, plan):
+        """Fan the whole shard-set out to the writer pool at once.
 
-        shard_write = ParallelShardWrite(writer, self._writers, header, preamble)
+        Every part's tensors are submitted before any wait, so the pool's
+        chunked pwrites interleave across all files of the set — the
+        multi-file analogue of the original single-shard parallel write.
+        """
+        part_writes = []
         try:
-            shard_write.write_preamble()
-            for entry, payload in zip(header.entries, payloads):
-                if shard_write.failed:
-                    break
-                shard_write.submit(entry, memoryview(payload),
-                                   description=f"{tag}/{shard}@{entry.offset}",
-                                   chunk_size=self.policy.chunk_size)
-            shard_write.wait_writes()
-            error = shard_write.first_error()
-            if error is not None:
-                raise error
-            checksum = shard_write.folded_checksum()
-            receipt = writer.commit()
+            for part in plan.parts:
+                preamble = encode_preamble(part.header, plan.skeleton)
+                writer = self.store.create_shard_writer(
+                    tag, part.name, len(preamble) + part.header.payload_bytes)
+                shard_write = ParallelShardWrite(writer, self._writers,
+                                                 part.header, preamble)
+                part_writes.append((part, writer, shard_write))
+                shard_write.write_preamble()
+                for entry, payload in iter_part_payloads(part):
+                    if shard_write.failed:
+                        break
+                    shard_write.submit(entry, memoryview(payload),
+                                       description=f"{tag}/{part.name}@{entry.offset}",
+                                       chunk_size=self.policy.chunk_size)
+            records, results = [], []
+            for part, writer, shard_write in part_writes:
+                shard_write.wait_writes()
+                error = shard_write.first_error()
+                if error is not None:
+                    raise error
+                receipt = writer.commit()
+                checksum = shard_write.folded_checksum()
+                record = self._part_record(plan, part, receipt.nbytes, checksum,
+                                           tensor_checksums=shard_write.tensor_checksums())
+                records.append(record)
+                results.append(FlushResult(tag=tag, shard_name=part.name,
+                                           nbytes=receipt.nbytes, checksum=checksum,
+                                           record=record))
+            return records, results
         except BaseException:
-            # Let in-flight pwrites retire before closing their fd.
-            shard_write.wait_writes()
-            writer.abort()
+            # Let in-flight pwrites retire before closing their fds; abort
+            # discards any part not yet committed (commit() makes abort a
+            # no-op for parts already published).
+            for _part, _writer, shard_write in part_writes:
+                shard_write.wait_writes()
+            for _part, writer, _shard_write in part_writes:
+                writer.abort()
             raise
-        return receipt.nbytes, checksum, shard_write.tensor_checksums()
 
     # ---------------------------------------------------------------- shutdown
     def _release_resources(self, wait: bool = True) -> None:

@@ -11,12 +11,11 @@ file layout already exposes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..config import PlatformSpec
 from ..simulator import Environment, Event, FairShareLink
-from ..simulator.events import AllOf
 
 
 @dataclass

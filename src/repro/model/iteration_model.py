@@ -16,7 +16,7 @@ raw FLOP counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..exceptions import ConfigurationError
 from .llm_zoo import MODEL_SIZES, model_config

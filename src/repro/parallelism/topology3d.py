@@ -10,7 +10,7 @@ use NVLink), then pipeline stages, then data-parallel replicas.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..exceptions import ShardingError
 

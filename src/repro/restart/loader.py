@@ -20,8 +20,9 @@ twice.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..exceptions import ConsistencyError, RestartError
 from ..io import FileStore
@@ -31,10 +32,14 @@ from ..serialization import (
     ShardRecord,
     checksum_stream,
     decode_preamble,
+    deserialize_rank_state,
     deserialize_state,
 )
 
 logger = get_logger(__name__)
+
+#: Upper bound on concurrent per-shard validation threads.
+_MAX_VALIDATE_WORKERS = 8
 
 
 @dataclass(frozen=True)
@@ -90,16 +95,43 @@ class CheckpointLoader:
 
     # -- validation ---------------------------------------------------------------
     def validate(self, tag: str) -> CheckpointManifest:
-        """Check that every shard listed in the manifest is present and intact."""
+        """Check that every shard listed in the manifest is present and intact.
+
+        Shards are validated concurrently (one mmap/read per shard), which is
+        what makes a multi-shard-per-rank checkpoint faster to vet than one
+        monolithic file: the CRC32 passes over the set run in parallel.
+        """
         manifest = self.manifest(tag)
         manifest.validate_complete()
-        for record in manifest.shards:
+        self._validate_records(tag, manifest.shards)
+        return manifest
+
+    @staticmethod
+    def _parallel_each(items: Sequence, check) -> None:
+        """Run ``check`` over ``items``, in parallel when there are several.
+
+        ``list()`` over the map re-raises the first failure, so callers see
+        the same exception type/path as the serial fallback.
+        """
+        if len(items) <= 1:
+            for item in items:
+                check(item)
+            return
+        workers = min(len(items), _MAX_VALIDATE_WORKERS)
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="ckpt-validate") as pool:
+            list(pool.map(check, items))
+
+    def _validate_records(self, tag: str, records: Sequence[ShardRecord]) -> None:
+        """Size + CRC32 validation of several shards, in parallel when >1."""
+        def check(record: ShardRecord) -> None:
             if self.use_mmap:
                 with self.store.open_shard_mmap(tag, record.name) as mapped:
                     self._check_record(tag, record, mapped.data)
             else:
                 self._check_record(tag, record, self.store.read_shard(tag, record.name))
-        return manifest
+
+        self._parallel_each(records, check)
 
     def _check_record(self, tag: str, record: ShardRecord, buffer) -> None:
         """Size + CRC32 validation of one shard against its manifest record.
@@ -150,30 +182,95 @@ class CheckpointLoader:
 
     # -- loading ----------------------------------------------------------------------
     def load_shard(self, tag: str, shard_name: str) -> Any:
-        """Load one shard by name, validated against the manifest.
+        """Load one logical shard by name, validated against the manifest.
 
-        This is the restore half of the engine protocol:
-        :meth:`repro.core.CheckpointEngine.load` routes through here, so
-        every engine's restores share one validation + deserialization path.
+        ``shard_name`` may be a shard file's name (v1 layout) or the *group*
+        name of a rank's multi-shard set (e.g. ``rank0`` when the files are
+        ``rank0-s00`` ... ``rank0-s03``) — the set is then validated and
+        reassembled into the rank's state.  This is the restore half of the
+        engine protocol: :meth:`repro.core.CheckpointEngine.load` routes
+        through here, so every engine's restores share one validation +
+        deserialization path.
         """
         manifest = self.manifest(tag)
         for record in manifest.shards:
             if record.name == shard_name:
+                if record.in_shard_set:
+                    # A single part of a set cannot be unflattened alone; the
+                    # caller almost certainly wants the whole logical shard.
+                    raise RestartError(
+                        f"{shard_name!r} is part {record.part_index} of shard-set "
+                        f"{record.group!r} in checkpoint {tag!r}; load the set by "
+                        f"its group name: load_shard({tag!r}, {record.group!r})"
+                    )
                 return self._load_shard(tag, record)
-        recorded = sorted(record.name for record in manifest.shards)
+        group_rank = next((record.rank for record in manifest.shards
+                           if record.in_shard_set and record.group == shard_name), None)
+        if group_rank is not None:
+            # shard_sets_of_rank validates set completeness (every part_index
+            # present), so this path diagnoses a pruned/corrupt manifest the
+            # same way load_rank does.
+            records = manifest.shard_sets_of_rank(group_rank)[shard_name]
+            return self._load_shard_set(tag, records)
+        recorded = sorted({record.group or record.name for record in manifest.shards})
         raise RestartError(
             f"checkpoint {tag!r} has no shard {shard_name!r} (has: {recorded[:4]} ...)"
         )
 
     def load_rank(self, tag: str, rank: int) -> Any:
-        """Load the state of one rank (single-shard-per-rank layout)."""
+        """Load the state of one rank from its shard(s).
+
+        Handles both layouts: a v1 single shard is loaded directly; a v2
+        multi-shard set is validated (in parallel) and reassembled.  A rank
+        that wrote several *independent* logical shards (distinct custom
+        shard names) comes back as a dict keyed by logical name, as before.
+        """
         manifest = self.manifest(tag)
-        records = manifest.shards_of_rank(rank)
-        if not records:
+        shard_sets = manifest.shard_sets_of_rank(rank)
+        if not shard_sets:
             raise RestartError(f"checkpoint {tag!r} holds no shards for rank {rank}")
-        if len(records) == 1:
+        loaded = {name: self._load_shard_set(tag, records)
+                  for name, records in shard_sets.items()}
+        if len(loaded) == 1:
+            return next(iter(loaded.values()))
+        return loaded
+
+    def _load_shard_set(self, tag: str, records: List[ShardRecord]) -> Any:
+        """Validate and reassemble one logical shard (1..N files)."""
+        if len(records) == 1 and not records[0].in_shard_set:
             return self._load_shard(tag, records[0])
-        return {record.name: self._load_shard(tag, record) for record in records}
+        if self.use_mmap:
+            mapped = [self.store.open_shard_mmap(tag, record.name) for record in records]
+            try:
+                self._validate_buffers(tag, records, [m.data for m in mapped])
+                try:
+                    return deserialize_rank_state([m.data for m in mapped],
+                                                  copy=self.materialize)
+                except Exception as exc:
+                    raise RestartError(
+                        f"cannot reassemble shard-set "
+                        f"{records[0].group or records[0].name!r} of {tag!r}: {exc}"
+                    ) from exc
+            finally:
+                # With materialize=False the arrays are views into the maps:
+                # close() defers to garbage collection while any view lives.
+                for m in mapped:
+                    m.close()
+        raws = [self.store.read_shard(tag, record.name) for record in records]
+        self._validate_buffers(tag, records, raws)
+        try:
+            return deserialize_rank_state(raws)
+        except Exception as exc:
+            raise RestartError(
+                f"cannot reassemble shard-set "
+                f"{records[0].group or records[0].name!r} of {tag!r}: {exc}"
+            ) from exc
+
+    def _validate_buffers(self, tag: str, records: Sequence[ShardRecord],
+                          buffers: Sequence[Any]) -> None:
+        """Check several already-opened shard buffers, in parallel when >1."""
+        self._parallel_each(list(zip(records, buffers)),
+                            lambda pair: self._check_record(tag, *pair))
 
     def load_all(self, tag: str, validate: bool = True) -> Dict[int, Any]:
         """Load the state of every rank; optionally validate first.

@@ -10,8 +10,16 @@ from .header import (
     preamble_size,
 )
 from .checksum import checksum_stream, crc32_combine, fold_section_checksums
-from .manifest import CheckpointManifest, ShardRecord, checksum_bytes
-from .reader import deserialize_state, peek_tensor_keys
+from .manifest import MANIFEST_VERSION, CheckpointManifest, ShardRecord, checksum_bytes
+from .reader import deserialize_rank_state, deserialize_state, peek_tensor_keys
+from .shard_plan import (
+    ShardPart,
+    ShardPlan,
+    iter_part_payloads,
+    part_shard_name,
+    plan_shards,
+    serialize_part,
+)
 from .writer import iter_shard_chunks, serialize_object, serialize_state
 
 __all__ = [
@@ -19,6 +27,7 @@ __all__ = [
     "fold_section_checksums",
     "checksum_stream",
     "MAGIC",
+    "MANIFEST_VERSION",
     "TensorEntry",
     "ShardHeader",
     "build_header",
@@ -29,8 +38,15 @@ __all__ = [
     "iter_shard_chunks",
     "serialize_object",
     "deserialize_state",
+    "deserialize_rank_state",
     "peek_tensor_keys",
     "CheckpointManifest",
     "ShardRecord",
+    "ShardPart",
+    "ShardPlan",
+    "plan_shards",
+    "part_shard_name",
+    "serialize_part",
+    "iter_part_payloads",
     "checksum_bytes",
 ]

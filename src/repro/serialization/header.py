@@ -24,13 +24,13 @@ from __future__ import annotations
 
 import json
 import struct
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import SerializationError
-from ..tensor import FlattenedState, TensorRef
+from ..tensor import FlattenedState
 
 MAGIC = b"DSLLMCK1"
 _U64 = struct.Struct("<Q")
@@ -45,16 +45,25 @@ class TensorEntry:
     shape: Tuple[int, ...]
     offset: int
     nbytes: int
+    #: Global tensor index within the rank's flattened state.  Only written in
+    #: multi-shard-per-rank layouts, where each shard file of the set holds a
+    #: subset of the rank's tensors and the restore path must map payloads
+    #: back to their skeleton placeholders.  ``None`` (the single-shard
+    #: layout) keeps the header JSON byte-identical to the v1 layout.
+    index: Optional[int] = None
 
     def to_json(self) -> Dict:
         """JSON-serialisable form."""
-        return {
+        payload = {
             "key": self.key,
             "dtype": self.dtype,
             "shape": list(self.shape),
             "offset": self.offset,
             "nbytes": self.nbytes,
         }
+        if self.index is not None:
+            payload["index"] = self.index
+        return payload
 
     @staticmethod
     def from_json(data: Dict) -> "TensorEntry":
@@ -65,6 +74,7 @@ class TensorEntry:
             shape=tuple(int(x) for x in data["shape"]),
             offset=int(data["offset"]),
             nbytes=int(data["nbytes"]),
+            index=None if data.get("index") is None else int(data["index"]),
         )
 
 

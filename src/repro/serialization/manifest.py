@@ -5,6 +5,18 @@ manifest is written exactly once, after every rank has voted that all of its
 shards are durably persisted (two-phase commit, §5.1), and lists every shard
 with its size and checksum so the restart path can detect truncation or
 corruption.
+
+Schema versions
+---------------
+* **v1** — one (or more, independently named) shard files per rank; each
+  record is ``{rank, name, nbytes, checksum[, tensor_checksums]}``.
+* **v2** — adds the multi-shard-per-rank layout: records belonging to a
+  shard-set additionally carry ``group`` (the logical per-rank shard name,
+  e.g. ``rank0``), ``part_index``, and ``num_parts``, and the manifest top
+  level carries ``"version": 2``.  The version key (and the per-record
+  fields) are only written when a shard-set is actually present, so
+  single-shard checkpoints remain byte-identical to v1 manifests, and v1
+  manifests parse unchanged (records simply have no shard-set fields).
 """
 
 from __future__ import annotations
@@ -14,6 +26,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ConsistencyError
+
+#: Current manifest schema version (written only when shard-sets are present).
+MANIFEST_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -30,17 +45,35 @@ class ShardRecord:
     #: above is folded from these, and the restart path can use them to
     #: pinpoint which tensor of a corrupt shard went bad.
     tensor_checksums: Optional[Tuple[int, ...]] = None
+    #: Logical shard-set this record belongs to (the rank's base shard name,
+    #: e.g. ``rank0``) in the multi-shard-per-rank layout; ``None`` for
+    #: standalone v1-style shards.
+    group: Optional[str] = None
+    #: Position of this shard within its set, and the set's size.
+    part_index: Optional[int] = None
+    num_parts: Optional[int] = None
+
+    @property
+    def in_shard_set(self) -> bool:
+        """True when this record is one part of a multi-shard rank layout."""
+        return self.group is not None and self.part_index is not None
 
     def to_json(self) -> Dict:
         """JSON-serialisable form."""
         payload = {"rank": self.rank, "name": self.name, "nbytes": self.nbytes, "checksum": self.checksum}
         if self.tensor_checksums is not None:
             payload["tensor_checksums"] = list(self.tensor_checksums)
+        if self.group is not None:
+            payload["group"] = self.group
+        if self.part_index is not None:
+            payload["part_index"] = self.part_index
+        if self.num_parts is not None:
+            payload["num_parts"] = self.num_parts
         return payload
 
     @staticmethod
     def from_json(data: Dict) -> "ShardRecord":
-        """Inverse of :meth:`to_json`."""
+        """Inverse of :meth:`to_json` (v1 records simply lack the set fields)."""
         tensor_checksums = data.get("tensor_checksums")
         return ShardRecord(
             rank=int(data["rank"]),
@@ -49,6 +82,9 @@ class ShardRecord:
             checksum=None if data.get("checksum") is None else int(data["checksum"]),
             tensor_checksums=None if tensor_checksums is None
             else tuple(int(x) for x in tensor_checksums),
+            group=None if data.get("group") is None else str(data["group"]),
+            part_index=None if data.get("part_index") is None else int(data["part_index"]),
+            num_parts=None if data.get("num_parts") is None else int(data["num_parts"]),
         )
 
 
@@ -71,6 +107,34 @@ class CheckpointManifest:
         return [record for record in self.shards if record.rank == rank]
 
     @property
+    def version(self) -> int:
+        """Schema version: 2 once any rank uses a multi-shard layout, else 1."""
+        return MANIFEST_VERSION if any(r.in_shard_set for r in self.shards) else 1
+
+    def shard_sets_of_rank(self, rank: int) -> Dict[str, List[ShardRecord]]:
+        """One rank's shards keyed by logical shard-set, parts in order.
+
+        Standalone (v1-style) records form singleton sets keyed by their file
+        name; multi-shard records are grouped under their ``group`` name and
+        sorted by ``part_index``.  The restore path validates that each set is
+        complete before reassembling the rank's state from it.
+        """
+        sets: Dict[str, List[ShardRecord]] = {}
+        for record in self.shards_of_rank(rank):
+            sets.setdefault(record.group or record.name, []).append(record)
+        for name, records in sets.items():
+            records.sort(key=lambda r: (r.part_index if r.part_index is not None else 0, r.name))
+            expected = records[0].num_parts
+            if expected is not None:
+                indices = [r.part_index for r in records]
+                if len(records) != expected or indices != list(range(expected)):
+                    raise ConsistencyError(
+                        f"shard-set {name!r} of rank {rank} is incomplete: "
+                        f"expected {expected} parts, found parts {indices}"
+                    )
+        return sets
+
+    @property
     def total_bytes(self) -> int:
         """Aggregate checkpoint size recorded in the manifest."""
         return sum(record.nbytes for record in self.shards)
@@ -86,8 +150,13 @@ class CheckpointManifest:
             )
 
     def to_json(self) -> Dict:
-        """JSON-serialisable form written to ``manifest.json``."""
-        return {
+        """JSON-serialisable form written to ``manifest.json``.
+
+        The ``version`` key is only emitted for v2 manifests (shard-sets
+        present), so single-shard checkpoints stay byte-identical to the
+        manifests every earlier release wrote.
+        """
+        payload = {
             "tag": self.tag,
             "world_size": self.world_size,
             "iteration": self.iteration,
@@ -95,6 +164,9 @@ class CheckpointManifest:
             "shards": [record.to_json() for record in self.shards],
             "extra": dict(self.extra),
         }
+        if self.version > 1:
+            payload["version"] = self.version
+        return payload
 
     @staticmethod
     def from_json(data: Dict) -> "CheckpointManifest":

@@ -14,7 +14,7 @@ tensor, not one shard.
 from __future__ import annotations
 
 import pickle
-from typing import Any, List
+from typing import Any, List, Sequence
 
 import numpy as np
 
@@ -52,6 +52,64 @@ def deserialize_state(raw, copy: bool = True) -> Any:
         if copy:
             array = array.copy()
         arrays.append(array)
+    return unflatten_state_dict(skeleton, arrays)
+
+
+def deserialize_rank_state(raws: Sequence[Any], copy: bool = True) -> Any:
+    """Rebuild one rank's state from its (possibly multi-file) shard-set.
+
+    ``raws`` holds the bytes-like buffers of every shard file of the set, in
+    any order.  Multi-shard headers carry each tensor's global index, which is
+    used to map payloads back onto the skeleton's placeholders; every part
+    carries the full skeleton, so reassembly does not depend on which buffer
+    is read first.  A single v1 buffer (no ``index`` fields) is delegated to
+    :func:`deserialize_state` unchanged.
+    """
+    if not raws:
+        raise SerializationError("cannot reassemble a rank from zero shard buffers")
+    if len(raws) == 1:
+        return deserialize_state(raws[0], copy=copy)
+
+    skeleton: Any = None
+    have_skeleton = False
+    arrays_by_index: dict = {}
+    for raw in raws:
+        header, skeleton_bytes, payload_start = decode_preamble(raw)
+        expected_end = payload_start + header.payload_bytes
+        if len(raw) < expected_end:
+            raise SerializationError(
+                f"shard file truncated: expected {expected_end} bytes, got {len(raw)}"
+            )
+        if not have_skeleton:
+            try:
+                skeleton = pickle.loads(skeleton_bytes)
+            except Exception as exc:
+                raise SerializationError(f"cannot unpickle shard skeleton: {exc}") from exc
+            have_skeleton = True
+        for position, entry in enumerate(header.entries):
+            global_index = entry.index if entry.index is not None else position
+            if global_index in arrays_by_index:
+                raise SerializationError(
+                    f"tensor #{global_index} ({entry.key!r}) appears in more "
+                    f"than one shard of the set"
+                )
+            start = payload_start + entry.offset
+            if start + entry.nbytes > expected_end:
+                raise SerializationError(f"payload for {entry.key!r} is truncated")
+            dtype = np.dtype(entry.dtype)
+            count = entry.nbytes // dtype.itemsize
+            array = np.frombuffer(raw, dtype=dtype, count=count, offset=start).reshape(entry.shape)
+            if copy:
+                array = array.copy()
+            arrays_by_index[global_index] = array
+
+    total = (max(arrays_by_index) + 1) if arrays_by_index else 0
+    missing = [i for i in range(total) if i not in arrays_by_index]
+    if missing:
+        raise SerializationError(
+            f"shard-set is missing tensors {missing[:4]} of {total}"
+        )
+    arrays = [arrays_by_index[i] for i in range(total)]
     return unflatten_state_dict(skeleton, arrays)
 
 

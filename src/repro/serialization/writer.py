@@ -15,12 +15,12 @@ Two paths are provided:
 from __future__ import annotations
 
 import pickle
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Sequence, Union
 
 import numpy as np
 
 from ..exceptions import SerializationError
-from ..tensor import FlattenedState, flatten_state_dict, tensor_payload_array
+from ..tensor import flatten_state_dict, tensor_payload_array
 from .header import ShardHeader, build_header, encode_preamble
 
 

@@ -17,8 +17,8 @@ Two resource models are provided:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Deque, List, Optional
 from collections import deque
 
 from ..exceptions import SimulationError

@@ -25,14 +25,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-import numpy as np
 
 from ..config import CheckpointPolicy
 from ..core import CheckpointEngine, create_real_engine
 from ..exceptions import ConfigurationError, RestartError
 from ..io import FileStore
 from ..logging_utils import get_logger
-from ..model import AdamConfig, AdamOptimizer, NumpyTransformerLM, TransformerConfig
+from ..model import AdamConfig, AdamOptimizer, NumpyTransformerLM
 from ..restart import CheckpointLoader
 from .data import DataConfig, SyntheticTokenStream
 

@@ -120,17 +120,6 @@ class SimTrainingRun:
         self.policy = policy or CheckpointPolicy(
             host_buffer_size=self.run_config.host_buffer_per_rank
         )
-        # RunConfig.checkpoint_interval is the single source of truth for the
-        # checkpoint schedule; a policy carrying the deprecated field must at
-        # least agree with it.
-        if (self.policy.checkpoint_interval is not None
-                and self.policy.checkpoint_interval != self.run_config.checkpoint_interval):
-            raise ConfigurationError(
-                f"conflicting checkpoint intervals: the deprecated "
-                f"CheckpointPolicy.checkpoint_interval={self.policy.checkpoint_interval} "
-                f"disagrees with RunConfig.checkpoint_interval="
-                f"{self.run_config.checkpoint_interval}; set it only on RunConfig"
-            )
         self.phases = phases or phases_for(runtime.model.name)
         self.engine_kwargs = dict(engine_kwargs or {})
 

@@ -1,0 +1,122 @@
+"""The CI benchmark-regression gate must catch real slowdowns and pass noise.
+
+Drives ``benchmarks/check_regression.py`` with synthetic baseline/fresh
+result directories: the acceptance case is a 2x-slower
+``blocked_ms_per_iteration`` failing the gate.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+import check_regression  # noqa: E402
+
+
+def _real_engines(ms_by_engine):
+    return {engine: {"blocked_ms_per_iteration": ms,
+                     "blocked_ms_per_iteration_mean": ms,
+                     "label": engine, "iterations": 8, "checkpoints": 8,
+                     "committed": 8, "blocked_seconds": ms * 8 / 1e3,
+                     "compute_seconds": 0.2}
+            for engine, ms in ms_by_engine.items()}
+
+
+def _io_fastpath(scale=1.0):
+    return {
+        "shard_bytes": 100_000_000,
+        "flush": {"streaming_seconds": 0.10 * scale, "streaming_mbps": 1000,
+                  "parallel_seconds": 0.08 * scale, "parallel_mbps": 1250},
+        "restore": {"read_seconds": 0.30 * scale, "mmap_seconds": 0.09 * scale},
+        "save_stall": {"streaming_seconds": 0.20 * scale,
+                       "parallel_seconds": 0.18 * scale},
+        "shards_per_rank_sweep": {
+            "1": {"stall_seconds": 0.001 * scale, "durable_seconds": 0.40 * scale},
+            "4": {"stall_seconds": 0.001 * scale, "durable_seconds": 0.35 * scale},
+        },
+    }
+
+
+def _write(directory, real_engines=None, io_fastpath=None):
+    directory.mkdir(parents=True, exist_ok=True)
+    if real_engines is not None:
+        (directory / check_regression.REAL_ENGINES).write_text(
+            json.dumps(real_engines), encoding="utf-8")
+    if io_fastpath is not None:
+        (directory / check_regression.IO_FASTPATH).write_text(
+            json.dumps(io_fastpath), encoding="utf-8")
+
+
+BASE_MS = {"deepspeed": 50.0, "async": 4.0, "torchsnapshot": 44.0, "datastates": 3.4}
+
+
+def test_two_x_slower_blocked_ms_fails_the_gate(tmp_path):
+    """The acceptance case: a synthetic 2x slowdown must fail."""
+    _write(tmp_path / "base", real_engines=_real_engines(BASE_MS))
+    doubled = {engine: ms * 2.0 for engine, ms in BASE_MS.items()}
+    _write(tmp_path / "fresh", real_engines=_real_engines(doubled))
+
+    problems = check_regression.compare_results(tmp_path / "base", tmp_path / "fresh")
+    assert problems, "a 2x slowdown must be flagged"
+    assert any("datastates" in p for p in problems)
+    # The CLI entry point fails the job.
+    assert check_regression.main(["--baseline", str(tmp_path / "base"),
+                                  "--fresh", str(tmp_path / "fresh")]) == 1
+
+
+def test_identical_results_pass(tmp_path):
+    _write(tmp_path / "base", real_engines=_real_engines(BASE_MS),
+           io_fastpath=_io_fastpath())
+    _write(tmp_path / "fresh", real_engines=_real_engines(BASE_MS),
+           io_fastpath=_io_fastpath())
+    assert check_regression.compare_results(tmp_path / "base", tmp_path / "fresh") == []
+    assert check_regression.main(["--baseline", str(tmp_path / "base"),
+                                  "--fresh", str(tmp_path / "fresh")]) == 0
+
+
+def test_slowdown_within_threshold_passes(tmp_path):
+    """A 20% drift stays under the 25% gate (CI noise tolerance)."""
+    _write(tmp_path / "base", real_engines=_real_engines(BASE_MS))
+    drifted = {engine: ms * 1.2 for engine, ms in BASE_MS.items()}
+    _write(tmp_path / "fresh", real_engines=_real_engines(drifted))
+    assert check_regression.compare_results(tmp_path / "base", tmp_path / "fresh") == []
+
+
+def test_tiny_absolute_deltas_are_ignored(tmp_path):
+    """Sub-millisecond stalls tripling is scheduler noise, not a regression."""
+    _write(tmp_path / "base", real_engines=_real_engines({"datastates": 0.2}))
+    _write(tmp_path / "fresh", real_engines=_real_engines({"datastates": 0.6}))
+    assert check_regression.compare_results(tmp_path / "base", tmp_path / "fresh") == []
+
+
+def test_io_fastpath_regression_detected(tmp_path):
+    _write(tmp_path / "base", io_fastpath=_io_fastpath())
+    _write(tmp_path / "fresh", io_fastpath=_io_fastpath(scale=2.0))
+    problems = check_regression.compare_results(tmp_path / "base", tmp_path / "fresh")
+    assert any("shards_per_rank_sweep" in p for p in problems)
+    assert any("flush.streaming_seconds" in p for p in problems)
+    # restore/save_stall are single-shot real-disk metrics: tracked, not gated.
+    assert not any("restore" in p or "save_stall" in p for p in problems)
+
+
+def test_missing_fresh_results_fail(tmp_path):
+    _write(tmp_path / "base", real_engines=_real_engines(BASE_MS))
+    (tmp_path / "fresh").mkdir()
+    problems = check_regression.compare_results(tmp_path / "base", tmp_path / "fresh")
+    assert problems and "not produced" in problems[0]
+
+
+def test_missing_engine_in_fresh_results_fails(tmp_path):
+    _write(tmp_path / "base", real_engines=_real_engines(BASE_MS))
+    smaller = {k: v for k, v in BASE_MS.items() if k != "async"}
+    _write(tmp_path / "fresh", real_engines=_real_engines(smaller))
+    problems = check_regression.compare_results(tmp_path / "base", tmp_path / "fresh")
+    assert any("async" in p and "missing" in p for p in problems)
+
+
+def test_no_baseline_means_no_gate(tmp_path):
+    """First run on a fresh repo: nothing committed, nothing to compare."""
+    (tmp_path / "base").mkdir()
+    _write(tmp_path / "fresh", real_engines=_real_engines(BASE_MS))
+    assert check_regression.compare_results(tmp_path / "base", tmp_path / "fresh") == []

@@ -6,7 +6,6 @@ from repro.checkpoint import (
     ENGINE_NAMES,
     AsynchronousEngine,
     DataStatesEngine,
-    SimCheckpointEngine,
     SynchronousEngine,
     TorchSnapshotEngine,
     available_engines,

@@ -163,7 +163,6 @@ def test_property_used_bytes_is_sum_of_unreclaimed(ops):
     """used_bytes always equals the sum of segments not yet reclaimed."""
     buf = CircularBufferManager(200)
     live = []      # allocated and not freed
-    retired = []   # freed but possibly unreclaimed
     for size, do_free in ops:
         if buf.would_fit(size):
             live.append(buf.allocate(size))

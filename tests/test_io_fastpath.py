@@ -22,7 +22,6 @@ from repro.serialization import (
     checksum_stream,
     crc32_combine,
     deserialize_state,
-    encode_preamble,
     fold_section_checksums,
     serialize_state,
 )

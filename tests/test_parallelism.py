@@ -6,9 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ShardingError
-from repro.model import model_config, runtime_config
+from repro.model import runtime_config
 from repro.parallelism import (
-    CheckpointPlan,
     ParallelTopology,
     RankCoordinate,
     ShardKind,

@@ -8,7 +8,6 @@ from repro.exceptions import ConfigurationError, ConsistencyError, RestartError
 from repro.io import FileStore
 from repro.model import NumpyTransformerLM, tiny_config
 from repro.restart import CheckpointLoader
-from repro.serialization import serialize_state
 from repro.training import DataConfig, RealTrainer, SyntheticTokenStream
 
 

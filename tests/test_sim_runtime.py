@@ -104,21 +104,17 @@ def test_checkpoint_policy_validation():
     with pytest.raises(ConfigurationError):
         CheckpointPolicy(chunk_size=0)
     with pytest.raises(ConfigurationError):
-        CheckpointPolicy(checkpoint_interval=0)
-
-
-def test_policy_checkpoint_interval_is_deprecated():
-    """RunConfig.checkpoint_interval is the single source of truth; the old
-    policy field warns, and a conflicting value is a hard error."""
-    with pytest.warns(DeprecationWarning):
-        policy = CheckpointPolicy(checkpoint_interval=2)
+        CheckpointPolicy(shards_per_rank=0)
     with pytest.raises(ConfigurationError):
-        SimTrainingRun(runtime_config("3B"), "deepspeed", policy=policy,
-                       run_config=RunConfig(iterations=2, checkpoint_interval=1))
-    # An agreeing value is accepted (warned about at construction only).
-    run = SimTrainingRun(runtime_config("3B"), "deepspeed", policy=policy,
-                         run_config=RunConfig(iterations=2, checkpoint_interval=2))
-    assert run.run_config.checkpoint_interval == 2
+        CheckpointPolicy(capture_streams=0)
+
+
+def test_policy_checkpoint_interval_is_gone():
+    """RunConfig.checkpoint_interval is the single source of truth; the
+    deprecated CheckpointPolicy.checkpoint_interval shim has been removed."""
+    with pytest.raises(TypeError):
+        CheckpointPolicy(checkpoint_interval=2)
+    assert not hasattr(CheckpointPolicy(), "checkpoint_interval")
 
 
 def test_sim_training_run_rejects_bad_data_parallel():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.simulator import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+from repro.simulator import Environment, Event, Interrupt
 
 
 def test_environment_starts_at_zero():
