@@ -314,6 +314,35 @@ def _measure_restore(store, use_mmap, rounds):
     return best, states
 
 
+def _measure_prefetch_sweep(tmp_path, state, depths, rounds=3, shards_per_rank=8):
+    """Restore latency of ``load_all`` over a multi-shard checkpoint as the
+    prefetch pipeline's depth grows (0 = the serial fetch->validate->load
+    path; depth 1 is skipped — it takes the identical serial code path);
+    best of ``rounds`` per depth, on both the mmap and read paths."""
+    _stall, _durable, store = _measure_save_stall(
+        tmp_path, state, parallel=True, shards_per_rank=shards_per_rank,
+        capture_streams=4, label="prefetch")
+    sweep = {}
+    reference = None
+    for depth in depths:
+        row = {}
+        for path_name, use_mmap in (("mmap", True), ("read", False)):
+            best = float("inf")
+            for _ in range(rounds):
+                loader = CheckpointLoader(store, use_mmap=use_mmap,
+                                          prefetch_depth=depth)
+                start = time.perf_counter()
+                states = loader.load_all("stall", validate=True)
+                best = min(best, time.perf_counter() - start)
+            row[f"{path_name}_seconds"] = best
+            if reference is None:
+                reference = states
+        sweep[str(depth)] = row
+    np.testing.assert_array_equal(reference[0]["t1"], state["t1"])
+    store.delete_checkpoint("stall")
+    return sweep
+
+
 def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
     """Legacy streaming flush vs offset-addressed parallel pwrites, and
     read-everything restore vs mmap restore; persisted as
@@ -351,11 +380,16 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
         # Multi-shard-per-rank layout: blocked/durable time as one rank's
         # state is spread over more shard files (one capture stream each).
         shards_sweep = _measure_shards_sweep(bench_dir, state, (1, 2, 4, 8))
+
+        # Restore-side prefetching: load_all latency over an 8-part shard-set
+        # as the fetch+validate stage's depth grows (0 = serial).
+        prefetch_sweep = _measure_prefetch_sweep(tmp_path, state, (0, 2, 4, 8))
         return {
             "shard_bytes": nbytes,
             "cpu_count": os.cpu_count(),
             "writer_threads": DEFAULT_WRITER_THREADS,
             "shards_per_rank_sweep": shards_sweep,
+            "restore_prefetch_sweep": prefetch_sweep,
             "flush": flush,
             "restore": {
                 "read_seconds": read_s,
@@ -413,6 +447,13 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
             "MB/s": round(results["shard_bytes"] / row["durable_seconds"] / 1e6, 1),
             "seconds": round(row["durable_seconds"], 4),
         })
+    prefetch = results["restore_prefetch_sweep"]
+    for depth, row in sorted(prefetch.items(), key=lambda item: int(item[0])):
+        rows.append({
+            "path": f"restore load_all prefetch={depth} (mmap)",
+            "MB/s": round(results["shard_bytes"] / row["mmap_seconds"] / 1e6, 1),
+            "seconds": round(row["mmap_seconds"], 4),
+        })
     emit("io_fastpath", format_table(
         rows, title=f"I/O fast path vs legacy ({results['shard_bytes'] / 1e6:.0f} MB shard, "
                     f"{results['cpu_count']} CPUs) [{json_path.name}]"))
@@ -431,3 +472,12 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
     assert best_multi <= single * 2.0, (
         f"multi-shard durable time regressed: best {best_multi:.4f}s vs "
         f"single-shard {single:.4f}s")
+    # Prefetching must be improving-or-flat vs the serial restore path, with
+    # the same generous noise margin as above (restore timings hit the
+    # runner's real disk/page cache, which swings between runs).
+    serial = prefetch["0"]["mmap_seconds"]
+    best_prefetched = min(row["mmap_seconds"]
+                          for depth, row in prefetch.items() if depth != "0")
+    assert best_prefetched <= serial * 2.0, (
+        f"prefetched restore regressed: best {best_prefetched:.4f}s vs "
+        f"serial {serial:.4f}s")

@@ -59,7 +59,7 @@ from .exceptions import (
     SimulationError,
     TransferError,
 )
-from .io import FileStore
+from .io import FileStore, ObjectStore, ShardStore, available_stores, create_store, register_store
 from .restart import CheckpointInfo, CheckpointLoader
 from .training import RealTrainer, SimTrainingRun, simulate_run
 
@@ -80,6 +80,11 @@ __all__ = [
     "register_real_engine",
     "available_real_engines",
     "FileStore",
+    "ObjectStore",
+    "ShardStore",
+    "create_store",
+    "register_store",
+    "available_stores",
     "CheckpointLoader",
     "CheckpointInfo",
     "RealTrainer",

@@ -10,12 +10,13 @@ engine.  Shared by ``repro compare-real``, the
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..config import CheckpointPolicy
 from ..core import ENGINE_LABELS, ENGINE_NAMES, canonical_engine_name, create_real_engine
-from ..io import FileStore
+from ..io import create_store
 from ..model import NumpyTransformerLM, tiny_config
 from ..training import RealTrainer
 
@@ -29,10 +30,15 @@ def run_real_engine(
     num_layers: int = 2,
     seed: int = 0,
     policy: Optional[CheckpointPolicy] = None,
+    store_backend: str = "file",
 ) -> Dict[str, object]:
-    """Train under one engine and measure its per-iteration blocked time."""
+    """Train under one engine and measure its per-iteration blocked time.
+
+    ``store_backend`` selects the shard store by registry name (``file`` or
+    ``object``); the engine pipeline is identical either way.
+    """
     name = canonical_engine_name(engine_name)
-    store = FileStore(Path(workdir) / name)
+    store = create_store(store_backend, root=Path(workdir) / name)
     engine = create_real_engine(name, store, policy=policy)
     with engine:
         model = NumpyTransformerLM(
@@ -43,10 +49,20 @@ def run_real_engine(
                                checkpoint_interval=checkpoint_interval)
         engine.wait_all()
         committed = engine.list_checkpoints()
+        # Restore round trip through the engine protocol (validated, and
+        # prefetched per policy.prefetch_depth) — makes the restore-side
+        # knobs observable in the comparison, not just the save side.
+        restore_seconds = None
+        if committed:
+            start = time.perf_counter()
+            engine.load(committed[-1])
+            restore_seconds = time.perf_counter() - start
+    root = getattr(store, "root", None)
     return {
         "engine": name,
         "label": ENGINE_LABELS.get(name, name),
-        "checkpoint_dir": str(store.root),
+        "checkpoint_dir": str(root) if root is not None
+        else f"object://{getattr(store, 'bucket', store_backend)}",
         "iterations": len(report.steps),
         "checkpoints": len(report.checkpoints),
         "committed": len(committed),
@@ -57,6 +73,7 @@ def run_real_engine(
         # single stolen quantum would otherwise dominate the mean.
         "blocked_ms_per_iteration": report.median_blocked_seconds_per_iteration * 1e3,
         "blocked_ms_per_iteration_mean": report.blocked_seconds_per_iteration * 1e3,
+        "restore_seconds": restore_seconds,
     }
 
 
@@ -69,6 +86,7 @@ def compare_real_engines(
     num_layers: int = 2,
     seed: int = 0,
     policy: Optional[CheckpointPolicy] = None,
+    store_backend: str = "file",
 ) -> List[Dict[str, object]]:
     """Per-engine blocked-time rows for every (or the given) engine name."""
     rows = []
@@ -77,7 +95,7 @@ def compare_real_engines(
             engine_name, workdir,
             iterations=iterations, checkpoint_interval=checkpoint_interval,
             hidden_size=hidden_size, num_layers=num_layers, seed=seed,
-            policy=policy,
+            policy=policy, store_backend=store_backend,
         ))
     return rows
 
@@ -93,6 +111,8 @@ def comparison_table_rows(rows: Sequence[Dict[str, object]]) -> List[Dict[str, o
             "blocked_ms_mean": round(float(row["blocked_ms_per_iteration_mean"]), 3),
             "blocked_total_s": round(float(row["blocked_seconds"]), 4),
             "compute_s": round(float(row["compute_seconds"]), 4),
+            "restore_ms": (round(float(row["restore_seconds"]) * 1e3, 3)
+                           if row.get("restore_seconds") is not None else None),
         }
         for row in rows
     ]

@@ -41,6 +41,7 @@ from .checkpoint import ENGINE_NAMES
 from .config import CheckpointPolicy
 from .core import canonical_engine_name
 from .exceptions import ConfigurationError
+from .io import STORE_NAMES, canonical_store_name
 from .model import MODEL_SIZES
 from .training import simulate_run
 
@@ -49,6 +50,14 @@ def _engine_name(value: str) -> str:
     """argparse type: canonicalize an (aliased) engine name."""
     try:
         return canonical_engine_name(value)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _store_name(value: str) -> str:
+    """argparse type: validate a shard-store backend name."""
+    try:
+        return canonical_store_name(value)
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
@@ -89,6 +98,17 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--layers", type=int, default=2)
         cmd.add_argument("--workdir", default=None,
                          help="checkpoint directory (default: a fresh temp dir)")
+        # No argparse choices= here: _store_name validates against the live
+        # registry, so custom register_store() backends stay selectable.
+        cmd.add_argument("--store", type=_store_name,
+                         default="file", metavar="|".join(STORE_NAMES),
+                         help="shard store backend: 'file' (POSIX directory), "
+                              "'object' (in-memory S3-like, one part per key), "
+                              "or any register_store() name")
+        cmd.add_argument("--prefetch-depth", type=int, default=None,
+                         help="restore-side prefetch workers fetching+validating "
+                              "shard parts ahead of deserialization "
+                              "(0 disables; default: policy default)")
         add_layout_args(cmd)
 
     train = sub.add_parser(
@@ -110,20 +130,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _layout_policy(args: argparse.Namespace,
                    host_buffer_size: Optional[int] = None) -> Optional[CheckpointPolicy]:
-    """Build a policy only when a non-default layout knob was given.
+    """Build a policy only when a non-default layout/restore knob was given.
 
     ``host_buffer_size`` must always be pinned explicitly: the dataclass
     default (16 GB, the simulator's per-rank budget) would make a real-mode
     engine allocate a 16 GB pinned pool the moment any layout flag is used.
     """
-    if args.shards_per_rank == 1 and args.capture_streams == 1:
+    prefetch_depth = getattr(args, "prefetch_depth", None)
+    if (args.shards_per_rank == 1 and args.capture_streams == 1
+            and prefetch_depth is None):
         return None
     from .core.base_engine import DEFAULT_HOST_BUFFER_SIZE
 
+    overrides = {}
+    if prefetch_depth is not None:
+        overrides["prefetch_depth"] = prefetch_depth
     return CheckpointPolicy(
         shards_per_rank=args.shards_per_rank,
         capture_streams=args.capture_streams,
         host_buffer_size=host_buffer_size or DEFAULT_HOST_BUFFER_SIZE,
+        **overrides,
     )
 
 
@@ -183,7 +209,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         args.engine, workdir,
         iterations=args.iterations, checkpoint_interval=args.checkpoint_interval,
         hidden_size=args.hidden_size, num_layers=args.layers,
-        policy=_layout_policy(args),
+        policy=_layout_policy(args), store_backend=args.store,
     )
     print(format_table(comparison_table_rows([row]),
                        title=f"Real-mode training ({row['label']})"))
@@ -197,7 +223,7 @@ def _cmd_compare_real(args: argparse.Namespace) -> int:
         workdir, engines=args.engines,
         iterations=args.iterations, checkpoint_interval=args.checkpoint_interval,
         hidden_size=args.hidden_size, num_layers=args.layers,
-        policy=_layout_policy(args),
+        policy=_layout_policy(args), store_backend=args.store,
     )
     print(format_table(
         comparison_table_rows(rows),

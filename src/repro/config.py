@@ -22,6 +22,11 @@ from dataclasses import dataclass, field, replace
 from .exceptions import ConfigurationError
 from .units import GB, gbps
 
+#: Default restore-side prefetch depth — the one source of truth shared by
+#: :class:`CheckpointPolicy` and loaders constructed without an explicit
+#: ``prefetch_depth`` (:class:`repro.restart.CheckpointLoader`).
+DEFAULT_PREFETCH_DEPTH = 4
+
 
 @dataclass(frozen=True)
 class PlatformSpec:
@@ -214,7 +219,15 @@ class CheckpointPolicy:
     #: Restore shards through a read-only mmap instead of reading the whole
     #: file into a heap ``bytes`` object: checksums are validated by
     #: streaming over the map and arrays are rebuilt straight out of it.
+    #: Ignored on stores with nothing to map (object stores), which fall
+    #: back to whole-object reads.
     mmap_restore: bool = True
+    #: Restore-side prefetch: how many shard parts the loader's bounded
+    #: fetch + CRC-validate stage keeps in flight ahead of deserialization,
+    #: overlapping I/O with reassembly across the shard-set (and across
+    #: ranks in ``load_all``).  ``0`` disables prefetching (strictly serial
+    #: fetch -> validate -> deserialize).
+    prefetch_depth: int = DEFAULT_PREFETCH_DEPTH
 
     def __post_init__(self) -> None:
         if self.host_buffer_size <= 0:
@@ -227,6 +240,8 @@ class CheckpointPolicy:
             raise ConfigurationError("shards_per_rank must be positive")
         if self.capture_streams <= 0:
             raise ConfigurationError("capture_streams must be positive")
+        if self.prefetch_depth < 0:
+            raise ConfigurationError("prefetch_depth must be >= 0")
 
     def with_overrides(self, **kwargs: object) -> "CheckpointPolicy":
         """Return a copy of this policy with selected fields replaced."""

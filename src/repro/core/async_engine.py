@@ -29,7 +29,7 @@ import numpy as np
 
 from ..config import CheckpointPolicy
 from ..exceptions import CheckpointError
-from ..io import FileStore
+from ..io import ShardStore
 from ..logging_utils import get_logger
 from ..serialization import ShardPlan, build_header
 from ..tensor import flatten_state_dict, tensor_payload_array
@@ -82,7 +82,7 @@ class AsyncCheckpointEngine(CheckpointEngine):
 
     name = "async"
 
-    def __init__(self, store: FileStore, rank: int = 0, world_size: int = 1,
+    def __init__(self, store: ShardStore, rank: int = 0, world_size: int = 1,
                  coordinator: Optional[TwoPhaseCommitCoordinator] = None,
                  policy: Optional[CheckpointPolicy] = None,
                  host_buffer_size: Optional[int] = None) -> None:

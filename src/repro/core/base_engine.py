@@ -53,7 +53,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import CheckpointPolicy
 from ..exceptions import CheckpointError
-from ..io import FileStore
+from ..io import ShardStore
 from ..logging_utils import get_logger
 from ..serialization import (
     ShardHeader,
@@ -111,7 +111,7 @@ class CheckpointEngine(abc.ABC):
 
     def __init__(
         self,
-        store: FileStore,
+        store: ShardStore,
         rank: int = 0,
         world_size: int = 1,
         coordinator: Optional[TwoPhaseCommitCoordinator] = None,
@@ -169,12 +169,15 @@ class CheckpointEngine(abc.ABC):
 
         Every engine restores through the same
         :class:`~repro.restart.CheckpointLoader` path: the shard is validated
-        against the manifest (size + CRC32) and, with ``policy.mmap_restore``,
-        rebuilt straight out of a read-only memory map.
+        against the manifest (size + CRC32), fetched through the prefetching
+        pipeline (``policy.prefetch_depth`` bounded workers) and, with
+        ``policy.mmap_restore`` on a store that can map, rebuilt straight out
+        of a read-only memory map.
         """
         from ..restart import CheckpointLoader
 
-        loader = CheckpointLoader(self.store, use_mmap=self.policy.mmap_restore)
+        loader = CheckpointLoader(self.store, use_mmap=self.policy.mmap_restore,
+                                  prefetch_depth=self.policy.prefetch_depth)
         return loader.load_shard(tag, shard_name or self.default_shard_name())
 
     def list_checkpoints(self) -> List[str]:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..exceptions import ConsistencyError
-from ..io import FileStore
+from ..io import ShardStore
 from ..logging_utils import get_logger
 from ..serialization import CheckpointManifest, ShardRecord
 
@@ -45,7 +45,7 @@ class _PendingCommit:
 class TwoPhaseCommitCoordinator:
     """Collects per-rank votes and publishes the manifest when all have arrived."""
 
-    def __init__(self, world_size: int, store: FileStore) -> None:
+    def __init__(self, world_size: int, store: ShardStore) -> None:
         if world_size <= 0:
             raise ConsistencyError("world_size must be positive")
         self.world_size = world_size

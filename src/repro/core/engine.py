@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..config import CheckpointPolicy
-from ..io import FileStore
+from ..io import ShardStore
 from ..logging_utils import get_logger
 from ..memory import PinnedHostPool
 from ..tensor import flatten_state_dict
@@ -101,7 +101,7 @@ class DataStatesCheckpointEngine(CheckpointEngine):
 
     def __init__(
         self,
-        store: FileStore,
+        store: ShardStore,
         rank: int = 0,
         world_size: int = 1,
         coordinator: Optional[TwoPhaseCommitCoordinator] = None,

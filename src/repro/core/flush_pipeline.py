@@ -12,7 +12,7 @@ checkpoint.
 Two write paths exist, selected by ``parallel_shard_writes``:
 
 * **Streaming (legacy/fallback)** — one sequential writer drains the staging
-  queue front to back into :meth:`FileStore.write_shard`.  Chunks are
+  queue front to back into :meth:`~repro.io.ShardStore.write_shard`.  Chunks are
   zero-copy ``memoryview`` slices of the pinned pool; the whole-file CRC32 is
   accumulated incrementally.
 
@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 from ..exceptions import CheckpointError
-from ..io import FileStore, FlushTask, FlushWorkerPool
+from ..io import FlushTask, FlushWorkerPool, ShardStore, supports_shard_writer
 from ..logging_utils import get_logger
 from ..memory import PinnedHostPool
 from ..serialization import ShardRecord, crc32_combine, encode_preamble
@@ -207,11 +207,11 @@ class ShardFlushJob:
 
 
 class FlushPipeline:
-    """Background writer of snapshot jobs to a :class:`FileStore`."""
+    """Background writer of snapshot jobs to a :class:`~repro.io.ShardStore`."""
 
     def __init__(
         self,
-        store: FileStore,
+        store: ShardStore,
         pool: PinnedHostPool,
         rank: int = 0,
         flush_threads: int = 1,
@@ -229,7 +229,7 @@ class FlushPipeline:
         # Offset-addressed fast path needs a store that can hand out pwrite
         # writers; plain stores (and test doubles) fall back to streaming.
         self.parallel_shard_writes = bool(
-            parallel_shard_writes and callable(getattr(store, "create_shard_writer", None))
+            parallel_shard_writes and supports_shard_writer(store)
         )
         self._pwriters: Optional[FlushWorkerPool] = None
         if self.parallel_shard_writes:

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Type
 
 from ..config import CheckpointPolicy
 from ..exceptions import ConfigurationError
-from ..io import FileStore
+from ..io import ShardStore
 from .async_engine import AsyncCheckpointEngine
 from .base_engine import CheckpointEngine
 from .consolidation import TwoPhaseCommitCoordinator
@@ -105,7 +105,7 @@ def resolve_real_engine_class(name: str) -> Type[CheckpointEngine]:
 
 def create_real_engine(
     name: str,
-    store: FileStore,
+    store: ShardStore,
     rank: int = 0,
     world_size: int = 1,
     coordinator: Optional[TwoPhaseCommitCoordinator] = None,

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..config import CheckpointPolicy
-from ..io import FileStore
+from ..io import ShardStore
 from ..serialization import checksum_bytes, serialize_part
 from ..tensor import flatten_state_dict
 from .base_engine import CheckpointEngine, CompletedCheckpointHandle
@@ -35,7 +35,7 @@ class SynchronousCheckpointEngine(CheckpointEngine):
 
     name = "deepspeed"
 
-    def __init__(self, store: FileStore, rank: int = 0, world_size: int = 1,
+    def __init__(self, store: ShardStore, rank: int = 0, world_size: int = 1,
                  coordinator: Optional[TwoPhaseCommitCoordinator] = None,
                  policy: Optional[CheckpointPolicy] = None,
                  host_buffer_size: Optional[int] = None,

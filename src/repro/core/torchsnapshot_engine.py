@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..config import CheckpointPolicy
-from ..io import FileStore, FlushWorkerPool
+from ..io import FlushWorkerPool, ShardStore, supports_shard_writer
 from ..serialization import encode_preamble, iter_part_payloads
 from ..tensor import flatten_state_dict
 from .base_engine import CheckpointEngine, CompletedCheckpointHandle
@@ -31,7 +31,7 @@ class TorchSnapshotCheckpointEngine(CheckpointEngine):
 
     name = "torchsnapshot"
 
-    def __init__(self, store: FileStore, rank: int = 0, world_size: int = 1,
+    def __init__(self, store: ShardStore, rank: int = 0, world_size: int = 1,
                  coordinator: Optional[TwoPhaseCommitCoordinator] = None,
                  policy: Optional[CheckpointPolicy] = None,
                  host_buffer_size: Optional[int] = None,
@@ -62,7 +62,7 @@ class TorchSnapshotCheckpointEngine(CheckpointEngine):
         shard = shard_name or self.default_shard_name()
         plan = self.plan_shards(flatten_state_dict(state), shard)
 
-        if callable(getattr(self.store, "create_shard_writer", None)):
+        if supports_shard_writer(self.store):
             records, results = self._write_parallel_set(tag, plan)
         else:
             records, results = [], []

@@ -1,19 +1,45 @@
-"""Storage backends: simulated NVMe/Lustre models and the real file store."""
+"""Storage backends: the pluggable shard-store protocol and its registry
+(:class:`ShardStore`, :func:`create_store`), the real POSIX file store, the
+in-memory S3-like object store, and the simulated NVMe/Lustre models."""
 
-from .filestore import FileStore, MappedShard, ShardWriter, WriteReceipt
+from .filestore import FileStore, MappedShard, ShardWriter, WriteReceipt, fsync_directory
 from .flush_workers import FlushTask, FlushWorkerPool
+from .objectstore import ObjectShardWriter, ObjectStore
 from .sim_storage import (
     SimNodeLocalStorage,
     SimParallelFileSystem,
     make_node_local_storage,
     make_parallel_fs,
 )
+from .store import (
+    STORE_LABELS,
+    STORE_NAMES,
+    ShardStore,
+    available_stores,
+    canonical_store_name,
+    create_store,
+    register_store,
+    supports_mmap,
+    supports_shard_writer,
+)
 
 __all__ = [
+    "ShardStore",
+    "STORE_NAMES",
+    "STORE_LABELS",
+    "available_stores",
+    "canonical_store_name",
+    "create_store",
+    "register_store",
+    "supports_mmap",
+    "supports_shard_writer",
     "FileStore",
     "ShardWriter",
     "MappedShard",
     "WriteReceipt",
+    "fsync_directory",
+    "ObjectStore",
+    "ObjectShardWriter",
     "FlushTask",
     "FlushWorkerPool",
     "SimParallelFileSystem",

@@ -46,6 +46,22 @@ class WriteReceipt:
     nbytes: int
 
 
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """fsync a directory so a just-renamed entry inside it survives a crash.
+
+    ``os.replace`` makes a rename atomic but not durable: POSIX only
+    guarantees the new directory entry reaches stable storage once the
+    *parent directory* itself has been fsynced.  Every ``fsync=True`` write
+    path calls this after its rename, otherwise a power failure could roll
+    back the publish of an already-fsynced shard or manifest.
+    """
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class ShardWriter:
     """Offset-addressed writer for one shard file.
 
@@ -61,6 +77,7 @@ class ShardWriter:
                  fsync: bool = False) -> None:
         if total_bytes <= 0:
             raise CheckpointError("shard writer needs a positive total size")
+        self.directory = Path(directory)
         self.final_path = final_path
         self.total_bytes = int(total_bytes)
         self.fsync = fsync
@@ -93,7 +110,13 @@ class ShardWriter:
         return written
 
     def commit(self) -> WriteReceipt:
-        """Make the shard durable (optional fsync) and atomically publish it."""
+        """Make the shard durable (optional fsync) and atomically publish it.
+
+        With ``fsync=True`` the *parent directory* is fsynced after the
+        rename as well — the rename itself is not durable until then.
+        Raises :class:`CheckpointError` if the publish loses a race with
+        checkpoint pruning (the directory was deleted under the writer).
+        """
         if self._closed:
             raise CheckpointError(f"shard writer for {self.final_path.name!r} is closed")
         try:
@@ -102,7 +125,23 @@ class ShardWriter:
         finally:
             os.close(self._fd)
             self._closed = True
-        os.replace(self._tmp_name, self.final_path)
+        try:
+            os.replace(self._tmp_name, self.final_path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot publish shard {self.final_path.name!r}: {exc} "
+                f"(checkpoint directory pruned while the write was in flight?)"
+            ) from exc
+        if self.fsync:
+            try:
+                fsync_directory(self.directory)
+            except OSError as exc:
+                # The shard is visible but its publish is not yet durable —
+                # report that precisely rather than blaming a prune race.
+                raise CheckpointError(
+                    f"shard {self.final_path.name!r} was published but its "
+                    f"directory entry could not be fsynced: {exc}"
+                ) from exc
         self._committed = True
         return WriteReceipt(path=self.final_path, nbytes=self.total_bytes)
 
@@ -213,6 +252,10 @@ class FileStore:
                 if self.fsync:
                     os.fsync(handle.fileno())
             os.replace(tmp_name, final_path)
+            if self.fsync:
+                # The rename is only durable once the directory entry is
+                # synced; without this a crash could lose the publish itself.
+                fsync_directory(directory)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -247,6 +290,10 @@ class FileStore:
                 if self.fsync:
                     os.fsync(handle.fileno())
             os.replace(tmp_name, path)
+            if self.fsync:
+                # A manifest whose rename is lost un-commits the checkpoint;
+                # sync the directory entry too.
+                fsync_directory(directory)
         except BaseException:
             try:
                 os.unlink(tmp_name)

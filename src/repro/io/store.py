@@ -1,0 +1,174 @@
+"""The pluggable shard-store protocol and the store registry.
+
+:class:`ShardStore` is the one storage interface the checkpoint pipeline
+programs against — extracted from :class:`~repro.io.FileStore` so that
+alternative backends (the in-memory S3-like :class:`~repro.io.ObjectStore`,
+future io_uring/O_DIRECT stores, real object stores) plug in underneath every
+engine, the trainer, the restart path, and the CLI without touching any call
+site.  Stores are selected by name through :func:`create_store`, mirroring how
+engines are selected through :func:`repro.core.create_real_engine`.
+
+The protocol has a required core and two *optional capabilities*:
+
+required
+    ``write_shard`` / ``read_shard`` — streaming shard write, whole-shard read;
+    ``write_manifest`` / ``read_manifest`` — commit-manifest publish/read
+    (publishing the manifest is what makes a checkpoint restorable, so a
+    backend must order it after every shard of the tag is durable);
+    ``shard_size`` / ``total_bytes`` — sizing;
+    ``list_checkpoints`` / ``list_committed_checkpoints`` /
+    ``delete_checkpoint`` — discovery and housekeeping.
+
+optional (feature-detected with ``callable(getattr(store, name, None))``)
+    ``create_shard_writer`` — offset-addressed writer for the parallel pwrite
+    fast path (:class:`~repro.core.FlushPipeline` and the TorchSnapshot-like
+    engine fall back to streaming writes when absent);
+    ``open_shard_mmap`` — zero-copy mapped reads for the mmap restore path
+    (:class:`~repro.restart.CheckpointLoader` falls back to ``read_shard``
+    when absent — e.g. an object store has no file to map).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Protocol, Union, runtime_checkable
+
+from ..exceptions import ConfigurationError
+from .filestore import FileStore, WriteReceipt
+
+
+@runtime_checkable
+class ShardStore(Protocol):
+    """Structural interface of a checkpoint shard store (see module docstring).
+
+    ``runtime_checkable`` so conformance tests can assert
+    ``isinstance(store, ShardStore)``; the optional capabilities
+    (``create_shard_writer``, ``open_shard_mmap``) are deliberately not part
+    of the protocol — callers feature-detect them.
+    """
+
+    # -- writes --------------------------------------------------------------
+    def write_shard(self, tag: str, shard_name: str,
+                    chunks: Iterable[Union[bytes, memoryview]]) -> WriteReceipt:
+        """Write one shard from an iterable of byte chunks; atomic publish."""
+        ...
+
+    def write_manifest(self, tag: str, manifest: Dict) -> object:
+        """Atomically publish the commit manifest of checkpoint ``tag``."""
+        ...
+
+    # -- reads ---------------------------------------------------------------
+    def read_shard(self, tag: str, shard_name: str) -> bytes:
+        """Read back one shard's bytes."""
+        ...
+
+    def read_manifest(self, tag: str) -> Dict:
+        """Read back the commit manifest of checkpoint ``tag``."""
+        ...
+
+    def shard_size(self, tag: str, shard_name: str) -> int:
+        """Stored size of one shard."""
+        ...
+
+    # -- management ----------------------------------------------------------
+    def list_checkpoints(self) -> List[str]:
+        """Tags of checkpoints present (committed or not), sorted."""
+        ...
+
+    def list_committed_checkpoints(self) -> List[str]:
+        """Tags of checkpoints that have a manifest, sorted."""
+        ...
+
+    def delete_checkpoint(self, tag: str) -> None:
+        """Remove every stored object of one checkpoint."""
+        ...
+
+    def total_bytes(self, tag: str) -> int:
+        """Sum of shard sizes of a checkpoint."""
+        ...
+
+
+#: Canonical store names, default backend first.
+STORE_NAMES: List[str] = ["file", "object"]
+
+#: Display labels used in report/bench output.
+STORE_LABELS: Dict[str, str] = {
+    "file": "FileStore (POSIX directory)",
+    "object": "ObjectStore (in-memory, one part per key)",
+}
+
+_StoreFactory = Callable[..., ShardStore]
+
+
+def _make_file_store(root=None, fsync: bool = False, **kwargs) -> ShardStore:
+    if root is None:
+        raise ConfigurationError("the 'file' store needs a root directory")
+    return FileStore(root, fsync=fsync, **kwargs)
+
+
+def _make_object_store(root=None, fsync: bool = False, **kwargs) -> ShardStore:
+    from .objectstore import ObjectStore
+
+    # ``root`` becomes the bucket label so per-backend workdirs stay legible
+    # in reports; an object store has no directory to create.
+    bucket = str(root) if root is not None else "repro-checkpoints"
+    return ObjectStore(bucket=bucket, fsync=fsync, **kwargs)
+
+
+_STORE_REGISTRY: Dict[str, _StoreFactory] = {
+    "file": _make_file_store,
+    "object": _make_object_store,
+}
+
+
+def available_stores() -> List[str]:
+    """Canonical names of the registered store backends."""
+    return [name for name in STORE_NAMES if name in _STORE_REGISTRY] + sorted(
+        name for name in _STORE_REGISTRY if name not in STORE_NAMES
+    )
+
+
+def canonical_store_name(name: str) -> str:
+    """Validate (and normalise) a store backend name."""
+    key = name.strip().lower()
+    if key not in _STORE_REGISTRY:
+        raise ConfigurationError(
+            f"unknown shard store {name!r}; known stores: {available_stores()}"
+        )
+    return key
+
+
+def create_store(name: str, root=None, fsync: bool = False, **kwargs) -> ShardStore:
+    """Instantiate a shard store backend by name.
+
+    ``root`` is the backing directory for the ``file`` store and a cosmetic
+    bucket label for the ``object`` store; ``fsync`` selects durable renames
+    on backends that have something to sync (accepted and ignored elsewhere
+    so call sites stay backend-agnostic).
+    """
+    factory = _STORE_REGISTRY[canonical_store_name(name)]
+    return factory(root=root, fsync=fsync, **kwargs)
+
+
+def register_store(name: str, factory: _StoreFactory) -> None:
+    """Register a custom store backend under a new name.
+
+    ``factory`` must accept ``(root=..., fsync=..., **kwargs)`` and return a
+    :class:`ShardStore`; registered names become selectable everywhere stores
+    are chosen by name (``create_store``, the CLI ``--store`` flag).
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("store name must be non-empty")
+    if not callable(factory):
+        raise ConfigurationError("store factory must be callable")
+    _STORE_REGISTRY[key] = factory
+
+
+def supports_shard_writer(store: object) -> bool:
+    """Whether ``store`` offers the offset-addressed parallel write fast path."""
+    return callable(getattr(store, "create_shard_writer", None))
+
+
+def supports_mmap(store: object) -> bool:
+    """Whether ``store`` offers zero-copy mapped reads for restores."""
+    return callable(getattr(store, "open_shard_mmap", None))

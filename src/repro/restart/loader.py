@@ -6,26 +6,42 @@ garbage-collected with :meth:`CheckpointLoader.prune_uncommitted`).  Shard
 files are validated against the manifest's size and CRC32 before their
 contents are handed back to the trainer.
 
-By default shards are restored through a read-only mmap (``use_mmap=True``):
-the CRC32 is verified by streaming over the map in bounded chunks and the
-arrays are rebuilt as ``np.frombuffer`` views straight out of it, so a
-multi-hundred-MB shard is validated and loaded without ever holding a second
-full copy of it in heap memory.  ``materialize=True`` (the default) copies
-each array out of the map one tensor at a time so the result is writable and
-the map can be released; ``materialize=False`` hands back zero-copy read-only
-views that keep the map alive.  Validation and loading happen in one pass
-over each shard — ``load_all(validate=True)`` no longer reads every shard
-twice.
+By default shards are restored through a read-only mmap (``use_mmap=True``,
+on stores that can map — an object store cannot, and transparently falls back
+to whole-object reads): the CRC32 is verified by streaming over the buffer in
+bounded chunks and the arrays are rebuilt as ``np.frombuffer`` views straight
+out of it, so a multi-hundred-MB shard is validated and loaded without ever
+holding a second full copy of it in heap memory.  ``materialize=True`` (the
+default) copies each array out of the map one tensor at a time so the result
+is writable and the map can be released; ``materialize=False`` hands back
+zero-copy read-only views that keep the map alive.
+
+Restores are **prefetched**: a bounded-worker stage (``prefetch_depth``
+workers, surfaced as :attr:`repro.config.CheckpointPolicy.prefetch_depth` and
+the CLI ``--prefetch-depth`` flag) fetches and CRC-validates shard parts
+ahead of deserialization, so :meth:`CheckpointLoader.load_rank` overlaps I/O
+with reassembly across a multi-shard set and :meth:`CheckpointLoader.load_all`
+additionally overlaps across ranks — while rank N's state is being rebuilt,
+rank N+1's parts are already being fetched and checksummed.
+``prefetch_depth=0`` disables the pipeline (strictly serial
+fetch -> validate -> deserialize).
+
+Validation and loading happen in one pass over each shard —
+``load_all(validate=True)`` never reads a shard twice, and
+``load_all(validate=False)`` skips the per-shard size/CRC checks entirely
+(manifest completeness is still enforced).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..config import DEFAULT_PREFETCH_DEPTH
 from ..exceptions import ConsistencyError, RestartError
-from ..io import FileStore
+from ..io import MappedShard, ShardStore, supports_mmap
 from ..logging_utils import get_logger
 from ..serialization import (
     CheckpointManifest,
@@ -41,6 +57,9 @@ logger = get_logger(__name__)
 #: Upper bound on concurrent per-shard validation threads.
 _MAX_VALIDATE_WORKERS = 8
 
+#: One logical shard to restore: a set key and the records of its parts.
+_SetItem = Tuple[Any, List[ShardRecord]]
+
 
 @dataclass(frozen=True)
 class CheckpointInfo:
@@ -54,14 +73,19 @@ class CheckpointInfo:
 
 
 class CheckpointLoader:
-    """Reads committed checkpoints back from a :class:`FileStore`."""
+    """Reads committed checkpoints back from any :class:`~repro.io.ShardStore`."""
 
-    def __init__(self, store: FileStore, verify_checksums: bool = True,
-                 use_mmap: bool = True, materialize: bool = True) -> None:
+    def __init__(self, store: ShardStore, verify_checksums: bool = True,
+                 use_mmap: bool = True, materialize: bool = True,
+                 prefetch_depth: Optional[int] = None) -> None:
         self.store = store
         self.verify_checksums = verify_checksums
-        self.use_mmap = bool(use_mmap and callable(getattr(store, "open_shard_mmap", None)))
+        self.use_mmap = bool(use_mmap and supports_mmap(store))
         self.materialize = materialize
+        depth = DEFAULT_PREFETCH_DEPTH if prefetch_depth is None else int(prefetch_depth)
+        if depth < 0:
+            raise RestartError("prefetch_depth must be >= 0")
+        self.prefetch_depth = depth
 
     # -- discovery ---------------------------------------------------------
     def committed_checkpoints(self) -> List[CheckpointInfo]:
@@ -125,11 +149,8 @@ class CheckpointLoader:
     def _validate_records(self, tag: str, records: Sequence[ShardRecord]) -> None:
         """Size + CRC32 validation of several shards, in parallel when >1."""
         def check(record: ShardRecord) -> None:
-            if self.use_mmap:
-                with self.store.open_shard_mmap(tag, record.name) as mapped:
-                    self._check_record(tag, record, mapped.data)
-            else:
-                self._check_record(tag, record, self.store.read_shard(tag, record.name))
+            buffer = self._fetch_part(tag, record, validate=True)
+            self._close_buffer(buffer)
 
         self._parallel_each(records, check)
 
@@ -157,11 +178,11 @@ class CheckpointLoader:
             raise RestartError(
                 f"shard {record.name!r} of {tag!r} carries no per-tensor checksums"
             )
-        if self.use_mmap:
-            with self.store.open_shard_mmap(tag, record.name) as mapped:
-                self._verify_entries(tag, record, mapped.data)
-        else:
-            self._verify_entries(tag, record, self.store.read_shard(tag, record.name))
+        buffer = self._fetch_part(tag, record, validate=False)
+        try:
+            self._verify_entries(tag, record, self._buffer_data(buffer))
+        finally:
+            self._close_buffer(buffer)
 
     def _verify_entries(self, tag: str, record: ShardRecord, buffer) -> None:
         view = memoryview(buffer)
@@ -179,6 +200,113 @@ class CheckpointLoader:
                     f"tensor {entry.key!r} of shard {record.name!r} ({tag!r}) "
                     f"failed its checksum"
                 )
+
+    # -- the fetch + validate stage ----------------------------------------------
+    @staticmethod
+    def _buffer_data(buffer):
+        """The bytes-like payload of a fetched part (unwraps a MappedShard)."""
+        return buffer.data if isinstance(buffer, MappedShard) else buffer
+
+    @staticmethod
+    def _close_buffer(buffer) -> None:
+        """Release a fetched part (no-op for heap bytes)."""
+        if isinstance(buffer, MappedShard):
+            buffer.close()
+
+    def _fetch_part(self, tag: str, record: ShardRecord, validate: bool):
+        """Fetch one shard part (mmap or whole read) and optionally validate
+        its size/CRC32; never leaks the mapping on a validation failure."""
+        if self.use_mmap:
+            mapped = self.store.open_shard_mmap(tag, record.name)
+            try:
+                if validate:
+                    self._check_record(tag, record, mapped.data)
+            except BaseException:
+                mapped.close()
+                raise
+            return mapped
+        raw = self.store.read_shard(tag, record.name)
+        if validate:
+            self._check_record(tag, record, raw)
+        return raw
+
+    def _iter_prefetched_sets(self, tag: str, sets: Sequence[_SetItem],
+                              validate: bool) -> Iterator[Tuple[Any, List[ShardRecord], List[Any]]]:
+        """Yield ``(key, records, buffers)`` per logical shard, prefetching ahead.
+
+        The fetch+validate stage runs on ``prefetch_depth`` bounded workers
+        with at most ``prefetch_depth`` parts in flight, so while the consumer
+        deserializes one shard-set the next parts (of this set, and of later
+        sets/ranks) are already being read and checksummed.  Ownership of the
+        yielded buffers passes to the consumer; buffers of sets never yielded
+        (because a fetch or the consumer failed) are closed here, so no mmap
+        handle outlives an aborted restore.
+
+        With ``prefetch_depth`` 0/1 (or a single part) the pipeline degrades
+        to the strictly serial path with identical semantics.
+        """
+        parts = [(set_index, record)
+                 for set_index, (_key, records) in enumerate(sets)
+                 for record in records]
+        if self.prefetch_depth <= 1 or len(parts) <= 1:
+            for key, records in sets:
+                buffers = self._fetch_set(tag, records, validate)
+                yield key, records, buffers
+            return
+
+        depth = min(self.prefetch_depth, len(parts))
+        pending: deque = deque()      # (set_index, future), submission order
+        ready: Dict[int, List[Any]] = {}
+        next_part = 0
+        emitted = 0
+        with ThreadPoolExecutor(max_workers=depth,
+                                thread_name_prefix="ckpt-prefetch") as pool:
+            try:
+                while emitted < len(sets):
+                    while next_part < len(parts) and len(pending) < self.prefetch_depth:
+                        set_index, record = parts[next_part]
+                        pending.append(
+                            (set_index,
+                             pool.submit(self._fetch_part, tag, record, validate)))
+                        next_part += 1
+                    set_index, future = pending.popleft()
+                    # Futures retire in submission order here, so each set's
+                    # buffers accumulate in part order.
+                    ready.setdefault(set_index, []).append(future.result())
+                    while (emitted < len(sets)
+                           and len(ready.get(emitted, ())) == len(sets[emitted][1])):
+                        key, records = sets[emitted]
+                        buffers = ready.pop(emitted)
+                        emitted += 1
+                        yield key, records, buffers
+            except BaseException:
+                # A fetch failed or the consumer bailed (including
+                # GeneratorExit): drain the in-flight fetches and release
+                # every buffer still owned by the pipeline.
+                for _set_index, future in pending:
+                    try:
+                        self._close_buffer(future.result())
+                    except Exception:  # noqa: BLE001 - already failing
+                        pass
+                for buffers in ready.values():
+                    for buffer in buffers:
+                        self._close_buffer(buffer)
+                raise
+
+    def _fetch_set(self, tag: str, records: Sequence[ShardRecord],
+                   validate: bool) -> List[Any]:
+        """Serially fetch one logical shard's parts; on any failure every
+        already-opened buffer is closed before the error propagates (the
+        mmap-handle leak the prefetch pipeline must also never reintroduce)."""
+        buffers: List[Any] = []
+        try:
+            for record in records:
+                buffers.append(self._fetch_part(tag, record, validate))
+        except BaseException:
+            for buffer in buffers:
+                self._close_buffer(buffer)
+            raise
+        return buffers
 
     # -- loading ----------------------------------------------------------------------
     def load_shard(self, tag: str, shard_name: str) -> Any:
@@ -203,7 +331,7 @@ class CheckpointLoader:
                         f"{record.group!r} in checkpoint {tag!r}; load the set by "
                         f"its group name: load_shard({tag!r}, {record.group!r})"
                     )
-                return self._load_shard(tag, record)
+                return self._load_shard_set(tag, [record])
         group_rank = next((record.rank for record in manifest.shards
                            if record.in_shard_set and record.group == shard_name), None)
         if group_rank is not None:
@@ -217,106 +345,97 @@ class CheckpointLoader:
             f"checkpoint {tag!r} has no shard {shard_name!r} (has: {recorded[:4]} ...)"
         )
 
-    def load_rank(self, tag: str, rank: int) -> Any:
+    def load_rank(self, tag: str, rank: int, validate: bool = True) -> Any:
         """Load the state of one rank from its shard(s).
 
         Handles both layouts: a v1 single shard is loaded directly; a v2
-        multi-shard set is validated (in parallel) and reassembled.  A rank
-        that wrote several *independent* logical shards (distinct custom
-        shard names) comes back as a dict keyed by logical name, as before.
+        multi-shard set is fetched + validated through the prefetch pipeline
+        and reassembled.  A rank that wrote several *independent* logical
+        shards (distinct custom shard names) comes back as a dict keyed by
+        logical name, as before.  ``validate=False`` skips the per-shard
+        size/CRC checks (set completeness is still enforced).
         """
         manifest = self.manifest(tag)
         shard_sets = manifest.shard_sets_of_rank(rank)
         if not shard_sets:
             raise RestartError(f"checkpoint {tag!r} holds no shards for rank {rank}")
-        loaded = {name: self._load_shard_set(tag, records)
-                  for name, records in shard_sets.items()}
+        loaded = {
+            name: self._deserialize_set(tag, records, buffers)
+            for name, records, buffers in self._iter_prefetched_sets(
+                tag, list(shard_sets.items()), validate)
+        }
         if len(loaded) == 1:
             return next(iter(loaded.values()))
         return loaded
 
-    def _load_shard_set(self, tag: str, records: List[ShardRecord]) -> Any:
-        """Validate and reassemble one logical shard (1..N files)."""
-        if len(records) == 1 and not records[0].in_shard_set:
-            return self._load_shard(tag, records[0])
-        if self.use_mmap:
-            mapped = [self.store.open_shard_mmap(tag, record.name) for record in records]
-            try:
-                self._validate_buffers(tag, records, [m.data for m in mapped])
-                try:
-                    return deserialize_rank_state([m.data for m in mapped],
-                                                  copy=self.materialize)
-                except Exception as exc:
-                    raise RestartError(
-                        f"cannot reassemble shard-set "
-                        f"{records[0].group or records[0].name!r} of {tag!r}: {exc}"
-                    ) from exc
-            finally:
-                # With materialize=False the arrays are views into the maps:
-                # close() defers to garbage collection while any view lives.
-                for m in mapped:
-                    m.close()
-        raws = [self.store.read_shard(tag, record.name) for record in records]
-        self._validate_buffers(tag, records, raws)
-        try:
-            return deserialize_rank_state(raws)
-        except Exception as exc:
-            raise RestartError(
-                f"cannot reassemble shard-set "
-                f"{records[0].group or records[0].name!r} of {tag!r}: {exc}"
-            ) from exc
-
-    def _validate_buffers(self, tag: str, records: Sequence[ShardRecord],
-                          buffers: Sequence[Any]) -> None:
-        """Check several already-opened shard buffers, in parallel when >1."""
-        self._parallel_each(list(zip(records, buffers)),
-                            lambda pair: self._check_record(tag, *pair))
-
     def load_all(self, tag: str, validate: bool = True) -> Dict[int, Any]:
-        """Load the state of every rank; optionally validate first.
+        """Load the state of every rank; per-shard validation is optional.
 
-        Validation is folded into the load: the manifest is checked for
-        completeness and each shard's size/CRC32 is verified on the same
-        buffer the arrays are rebuilt from, so every shard is read (or
-        mapped) exactly once instead of once for validation and once for
-        loading.
+        Validation is folded into the load: each shard's size/CRC32 is
+        verified on the same buffer the arrays are rebuilt from, so every
+        shard is read (or mapped) exactly once — and the prefetch pipeline
+        overlaps the fetch+validate of upcoming shards (across ranks) with
+        the deserialization of the current one.
+
+        ``validate=False`` skips the per-shard size/CRC32 checks entirely —
+        use it when the medium is trusted and restore latency matters.
+        Manifest completeness (every rank present, every shard-set whole) is
+        checked either way; torn or pruned checkpoints are still rejected.
         """
         manifest = self.manifest(tag)
-        if validate:
-            manifest.validate_complete()
-        result: Dict[int, Any] = {}
+        manifest.validate_complete()
+        sets: List[_SetItem] = []
         for rank in sorted({record.rank for record in manifest.shards}):
-            result[rank] = self.load_rank(tag, rank)
-        return result
+            for name, records in manifest.shard_sets_of_rank(rank).items():
+                sets.append(((rank, name), records))
+        per_rank: Dict[int, Dict[str, Any]] = {}
+        for (rank, name), records, buffers in self._iter_prefetched_sets(
+                tag, sets, validate):
+            per_rank.setdefault(rank, {})[name] = \
+                self._deserialize_set(tag, records, buffers)
+        return {rank: next(iter(loaded.values())) if len(loaded) == 1 else loaded
+                for rank, loaded in per_rank.items()}
 
-    def _load_shard(self, tag: str, record) -> Any:
-        if self.use_mmap:
-            return self._load_shard_mmap(tag, record)
-        raw = self.store.read_shard(tag, record.name)
-        self._check_record(tag, record, raw)
-        try:
-            return deserialize_state(raw)
-        except Exception as exc:
-            raise RestartError(f"cannot deserialize shard {record.name!r} of {tag!r}: {exc}") from exc
+    def _load_shard_set(self, tag: str, records: List[ShardRecord],
+                        validate: bool = True) -> Any:
+        """Fetch + validate + reassemble one logical shard (1..N parts)."""
+        for _key, recs, buffers in self._iter_prefetched_sets(
+                tag, [(records[0].group or records[0].name, list(records))], validate):
+            return self._deserialize_set(tag, recs, buffers)
+        raise RestartError(f"checkpoint {tag!r} shard-set is empty")  # pragma: no cover
 
-    def _load_shard_mmap(self, tag: str, record) -> Any:
-        mapped = self.store.open_shard_mmap(tag, record.name)
+    def _deserialize_set(self, tag: str, records: Sequence[ShardRecord],
+                         buffers: List[Any]) -> Any:
+        """Rebuild one logical shard's state; always releases the buffers.
+
+        With ``materialize=False`` the arrays are views into the maps:
+        close() defers to garbage collection while any view lives.
+        """
+        copy = self.materialize if self.use_mmap else True
         try:
-            self._check_record(tag, record, mapped.data)
+            datas = [self._buffer_data(buffer) for buffer in buffers]
             try:
-                return deserialize_state(mapped.data, copy=self.materialize)
+                if len(records) == 1 and not records[0].in_shard_set:
+                    return deserialize_state(datas[0], copy=copy)
+                return deserialize_rank_state(datas, copy=copy)
             except Exception as exc:
                 raise RestartError(
-                    f"cannot deserialize shard {record.name!r} of {tag!r}: {exc}"
+                    f"cannot deserialize shard "
+                    f"{records[0].group or records[0].name!r} of {tag!r}: {exc}"
                 ) from exc
         finally:
-            # With materialize=False the arrays are views into the map: close()
-            # defers to garbage collection while any view is alive.
-            mapped.close()
+            for buffer in buffers:
+                self._close_buffer(buffer)
 
     # -- housekeeping --------------------------------------------------------------------
     def prune_uncommitted(self) -> List[str]:
-        """Delete torn (manifest-less) checkpoint directories; returns the tags removed."""
+        """Delete torn (manifest-less) checkpoint directories; returns the tags removed.
+
+        Safe to run concurrently with an in-flight save: an uncommitted
+        writer whose checkpoint is pruned from under it fails its publish
+        with a :class:`~repro.exceptions.CheckpointError` instead of
+        resurrecting the deleted checkpoint.
+        """
         committed = set(self.store.list_committed_checkpoints())
         removed = []
         for tag in self.store.list_checkpoints():
@@ -327,7 +446,11 @@ class CheckpointLoader:
         return removed
 
     def keep_latest(self, count: int) -> List[str]:
-        """Delete all but the newest ``count`` committed checkpoints."""
+        """Delete all but the newest ``count`` committed checkpoints.
+
+        ``keep_latest(0)`` deliberately deletes *every* committed checkpoint
+        — the "wipe the history" form callers use when retiring a run.
+        """
         if count < 0:
             raise RestartError("count must be >= 0")
         infos = self.committed_checkpoints()

@@ -10,7 +10,9 @@ the state — exactly the integration contract of §5.2.  Training can be
 resumed bit-exactly from any committed checkpoint, which the test suite
 verifies for all four engines.
 
-The engine can be passed as an instance or selected by registry name::
+The engine can be passed as an instance or selected by registry name, over
+any :class:`~repro.io.ShardStore` backend (a ``FileStore`` directory or an
+``ObjectStore`` bucket)::
 
     trainer = RealTrainer(model, engine="datastates", store=FileStore(path))
 
@@ -29,7 +31,7 @@ from typing import Dict, List, Optional, Union
 from ..config import CheckpointPolicy
 from ..core import CheckpointEngine, create_real_engine
 from ..exceptions import ConfigurationError, RestartError
-from ..io import FileStore
+from ..io import ShardStore
 from ..logging_utils import get_logger
 from ..model import AdamConfig, AdamOptimizer, NumpyTransformerLM
 from ..restart import CheckpointLoader
@@ -99,7 +101,7 @@ class RealTrainer:
         data: Optional[SyntheticTokenStream] = None,
         adam: Optional[AdamConfig] = None,
         micro_batch_size: int = 4,
-        store: Optional[FileStore] = None,
+        store: Optional[ShardStore] = None,
         policy: Optional[CheckpointPolicy] = None,
     ) -> None:
         if isinstance(engine, str):

@@ -1,10 +1,11 @@
 """Engine-conformance suite: every real-mode engine honours the protocol.
 
 Parametrized over all four paper baselines via the registry
-(``create_real_engine``): save -> restore bit-exactness through the
-``RealTrainer``, the consistency gate before ``optimizer.step()``, handle
-semantics, ``wait_all`` after the final save, ``shutdown()`` idempotency, and
-the context-manager lifecycle.
+(``create_real_engine``) **and over both shard-store backends** (the POSIX
+``FileStore`` and the in-memory S3-like ``ObjectStore``): save -> restore
+bit-exactness through the ``RealTrainer``, the consistency gate before
+``optimizer.step()``, handle semantics, ``wait_all`` after the final save,
+``shutdown()`` idempotency, and the context-manager lifecycle.
 """
 
 import numpy as np
@@ -25,12 +26,18 @@ from repro.core import (
     resolve_real_engine_class,
 )
 from repro.exceptions import CheckpointError, ConfigurationError
-from repro.io import FileStore
+from repro.io import STORE_NAMES, ShardStore, create_store
 from repro.model import NumpyTransformerLM, tiny_config
 from repro.restart import CheckpointLoader
 from repro.training import RealTrainer
 
 pytestmark = pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+
+
+@pytest.fixture(params=STORE_NAMES)
+def store_backend(request):
+    """Every conformance test runs against both registered store backends."""
+    return request.param
 
 
 def _tiny():
@@ -47,9 +54,15 @@ def _state(seed=0, size=512):
     }
 
 
-def _make_engine(engine_name, tmp_path) -> CheckpointEngine:
+def _make_store(store_backend, tmp_path, name) -> ShardStore:
+    store = create_store(store_backend, root=tmp_path / name)
+    assert isinstance(store, ShardStore)
+    return store
+
+
+def _make_engine(engine_name, store_backend, tmp_path) -> CheckpointEngine:
     return create_real_engine(
-        engine_name, FileStore(tmp_path / engine_name),
+        engine_name, _make_store(store_backend, tmp_path, engine_name),
         policy=CheckpointPolicy(host_buffer_size=16 << 20),
     )
 
@@ -58,14 +71,14 @@ def _make_engine(engine_name, tmp_path) -> CheckpointEngine:
 # Registry / factory
 # ---------------------------------------------------------------------------
 
-def test_factory_instantiates_and_aliases_resolve(engine_name, tmp_path):
+def test_factory_instantiates_and_aliases_resolve(engine_name, store_backend, tmp_path):
     expected = {
         "deepspeed": SynchronousCheckpointEngine,
         "async": AsyncCheckpointEngine,
         "torchsnapshot": TorchSnapshotCheckpointEngine,
         "datastates": DataStatesCheckpointEngine,
     }[engine_name]
-    with _make_engine(engine_name, tmp_path) as engine:
+    with _make_engine(engine_name, store_backend, tmp_path) as engine:
         assert type(engine) is expected
         assert engine.name == engine_name
     assert canonical_engine_name(engine_name.upper()) == engine_name
@@ -76,11 +89,11 @@ def test_factory_instantiates_and_aliases_resolve(engine_name, tmp_path):
 # Save -> restore bit-exactness through the RealTrainer
 # ---------------------------------------------------------------------------
 
-def test_trainer_resume_is_bit_exact(engine_name, tmp_path):
+def test_trainer_resume_is_bit_exact(engine_name, store_backend, tmp_path):
     """Training N+M iterations straight equals training N under the engine,
     restoring from its checkpoint, and training M more."""
     config = _tiny()
-    with _make_engine(engine_name, tmp_path) as engine:
+    with _make_engine(engine_name, store_backend, tmp_path) as engine:
         reference = RealTrainer(NumpyTransformerLM(config, seed=3), engine=engine)
         reference.train(iterations=3, checkpoint_interval=3)
         engine.wait_all()
@@ -100,8 +113,8 @@ def test_trainer_resume_is_bit_exact(engine_name, tmp_path):
             reference.optimizer.exp_avg["wte"], resumed.optimizer.exp_avg["wte"])
 
 
-def test_trainer_accepts_engine_by_name(engine_name, tmp_path):
-    store = FileStore(tmp_path / "by-name")
+def test_trainer_accepts_engine_by_name(engine_name, store_backend, tmp_path):
+    store = _make_store(store_backend, tmp_path, "by-name")
     with RealTrainer(NumpyTransformerLM(_tiny(), seed=1), engine=engine_name,
                      store=store) as trainer:
         assert trainer.owns_engine
@@ -124,11 +137,11 @@ def test_trainer_by_name_without_store_rejected(engine_name):
 # Consistency gate before optimizer.step()
 # ---------------------------------------------------------------------------
 
-def test_consistency_gate_isolates_snapshot_from_mutation(engine_name, tmp_path):
+def test_consistency_gate_isolates_snapshot_from_mutation(engine_name, store_backend, tmp_path):
     """Mutations made after wait_for_snapshot() returns must not leak into
     the checkpoint — the contract the trainer relies on before
     ``optimizer.step()`` mutates the parameters."""
-    with _make_engine(engine_name, tmp_path) as engine:
+    with _make_engine(engine_name, store_backend, tmp_path) as engine:
         state = _state(seed=2)
         original = state["model"]["w"].copy()
         engine.save(state, tag="gate", iteration=0)
@@ -143,8 +156,8 @@ def test_consistency_gate_isolates_snapshot_from_mutation(engine_name, tmp_path)
 # Handles, wait_all, and commit
 # ---------------------------------------------------------------------------
 
-def test_handle_and_wait_all_after_final_save(engine_name, tmp_path):
-    with _make_engine(engine_name, tmp_path) as engine:
+def test_handle_and_wait_all_after_final_save(engine_name, store_backend, tmp_path):
+    with _make_engine(engine_name, store_backend, tmp_path) as engine:
         for index in range(3):
             handle = engine.save(_state(seed=index), tag=f"ckpt-{index}",
                                  iteration=index)
@@ -168,8 +181,8 @@ def test_handle_and_wait_all_after_final_save(engine_name, tmp_path):
 # Shutdown lifecycle
 # ---------------------------------------------------------------------------
 
-def test_shutdown_is_idempotent_and_final(engine_name, tmp_path):
-    engine = _make_engine(engine_name, tmp_path)
+def test_shutdown_is_idempotent_and_final(engine_name, store_backend, tmp_path):
+    engine = _make_engine(engine_name, store_backend, tmp_path)
     engine.save(_state(), tag="final", iteration=0)
     engine.shutdown()
     engine.shutdown()          # idempotent
@@ -190,7 +203,7 @@ def test_register_custom_real_engine(engine_name, tmp_path):
 
     register_real_engine(f"custom-{engine_name}", Custom)
     try:
-        engine = create_real_engine(f"custom-{engine_name}", FileStore(tmp_path / "c"))
+        engine = create_real_engine(f"custom-{engine_name}", _make_store("file", tmp_path, "c"))
         assert isinstance(engine, Custom)
         engine.shutdown()
     finally:

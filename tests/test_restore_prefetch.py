@@ -1,0 +1,227 @@
+"""Restore-path tests: the prefetching load pipeline, the mmap-handle leak
+regression, ``load_all(validate=False)`` semantics, and retention edge cases
+(``keep_latest(0)``)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import CheckpointPolicy
+from repro.core import TwoPhaseCommitCoordinator, create_real_engine
+from repro.exceptions import CheckpointError, ConsistencyError, RestartError
+from repro.io import FileStore, ObjectStore
+from repro.restart import CheckpointLoader
+
+
+def _state(seed=0, tensors=6, size=2048):
+    rng = np.random.default_rng(seed)
+    return {
+        "model": {f"w{i}": rng.normal(size=size) for i in range(tensors)},
+        "iteration": seed,
+    }
+
+
+def _commit(store, state, tag="ckpt", shards_per_rank=4):
+    policy = CheckpointPolicy(host_buffer_size=16 << 20,
+                              shards_per_rank=shards_per_rank)
+    with create_real_engine("deepspeed", store, policy=policy) as engine:
+        engine.save(state, tag=tag, iteration=0)
+        engine.wait_all()
+
+
+class _TrackingStore(FileStore):
+    """FileStore that tracks every mmap it hands out and can fail the Nth.
+
+    Thread-safe: the prefetch pipeline opens parts from several workers.
+    """
+
+    def __init__(self, root, fail_on_open=None):
+        super().__init__(root)
+        self._track_lock = threading.Lock()
+        self.handed_out = []
+        self.opens = 0
+        self.fail_on_open = fail_on_open
+
+    def open_shard_mmap(self, tag, shard_name):
+        with self._track_lock:
+            self.opens += 1
+            if self.fail_on_open is not None and self.opens >= self.fail_on_open:
+                raise CheckpointError(f"injected failure opening {shard_name!r}")
+        mapped = super().open_shard_mmap(tag, shard_name)
+        with self._track_lock:
+            self.handed_out.append(mapped)
+        return mapped
+
+
+# ---------------------------------------------------------------------------
+# mmap-handle leak regression (satellite bugfix)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("prefetch_depth", [0, 3])
+def test_failed_set_open_closes_already_opened_mmaps(tmp_path, prefetch_depth):
+    """If opening a later part of a shard-set fails, every already-opened
+    mmap must be closed — the seed leaked them from the list comprehension."""
+    store = _TrackingStore(tmp_path)
+    _commit(store, _state(seed=1), shards_per_rank=4)
+
+    store.fail_on_open = 3  # parts 1 and 2 open fine, part 3 raises
+    loader = CheckpointLoader(store, prefetch_depth=prefetch_depth)
+    with pytest.raises(CheckpointError, match="injected failure"):
+        loader.load_rank("ckpt", 0)
+    assert len(store.handed_out) == 2
+    assert all(mapped.data.closed for mapped in store.handed_out)
+
+
+@pytest.mark.parametrize("prefetch_depth", [0, 3])
+def test_failed_validation_closes_already_opened_mmaps(tmp_path, prefetch_depth):
+    """A CRC failure on one part must not leak the other parts' mappings."""
+    store = _TrackingStore(tmp_path)
+    _commit(store, _state(seed=2), shards_per_rank=4)
+
+    # Corrupt one part's payload (same size, different bytes -> CRC mismatch).
+    victim = sorted(store.checkpoint_dir("ckpt").glob("*.shard"))[2]
+    raw = bytearray(victim.read_bytes())
+    raw[-1] ^= 0xFF
+    victim.write_bytes(bytes(raw))
+
+    loader = CheckpointLoader(store, prefetch_depth=prefetch_depth)
+    with pytest.raises(ConsistencyError, match="checksum"):
+        loader.load_rank("ckpt", 0)
+    assert all(mapped.data.closed for mapped in store.handed_out)
+
+
+def test_successful_load_closes_every_mmap(tmp_path):
+    store = _TrackingStore(tmp_path)
+    state = _state(seed=3)
+    _commit(store, state, shards_per_rank=4)
+    loader = CheckpointLoader(store, prefetch_depth=2)
+    loaded = loader.load_rank("ckpt", 0)
+    np.testing.assert_array_equal(loaded["model"]["w0"], state["model"]["w0"])
+    assert len(store.handed_out) == 4
+    assert all(mapped.data.closed for mapped in store.handed_out)
+
+
+# ---------------------------------------------------------------------------
+# Prefetching pipeline: equivalence across depths, paths, and backends
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("prefetch_depth", [0, 1, 2, 8])
+@pytest.mark.parametrize("use_mmap", [True, False])
+def test_prefetch_depths_load_identical_state(tmp_path, prefetch_depth, use_mmap):
+    store = FileStore(tmp_path)
+    state = _state(seed=4)
+    _commit(store, state, shards_per_rank=3)
+    loader = CheckpointLoader(store, use_mmap=use_mmap,
+                              prefetch_depth=prefetch_depth)
+    states = loader.load_all("ckpt")
+    for key, array in state["model"].items():
+        np.testing.assert_array_equal(states[0]["model"][key], array)
+    assert states[0]["iteration"] == 4
+
+
+@pytest.mark.parametrize("prefetch_depth", [0, 4])
+def test_prefetch_on_object_store(prefetch_depth):
+    """The object store has no mmap; the prefetch stage overlaps whole-object
+    GETs instead, with identical results."""
+    store = ObjectStore()
+    state = _state(seed=5)
+    _commit(store, state, shards_per_rank=3)
+    loader = CheckpointLoader(store, prefetch_depth=prefetch_depth)
+    assert loader.use_mmap is False
+    loaded = loader.load_rank("ckpt", 0)
+    np.testing.assert_array_equal(loaded["model"]["w5"], state["model"]["w5"])
+
+
+def test_prefetch_overlaps_across_ranks_in_load_all(tmp_path):
+    """load_all prefetches across the whole shard-set of every rank."""
+    store = FileStore(tmp_path)
+    coordinator = TwoPhaseCommitCoordinator(2, store)
+    policy = CheckpointPolicy(host_buffer_size=16 << 20, shards_per_rank=2)
+    states = {rank: _state(seed=10 + rank) for rank in (0, 1)}
+    engines = [
+        create_real_engine("async", store, rank=rank, world_size=2,
+                           coordinator=coordinator, policy=policy)
+        for rank in (0, 1)
+    ]
+    try:
+        for rank, engine in enumerate(engines):
+            engine.save(states[rank], tag="ckpt", iteration=1)
+        for engine in engines:
+            engine.wait_all()
+    finally:
+        for engine in engines:
+            engine.shutdown()
+
+    loader = CheckpointLoader(store, prefetch_depth=3)
+    loaded = loader.load_all("ckpt")
+    assert sorted(loaded) == [0, 1]
+    for rank in (0, 1):
+        np.testing.assert_array_equal(loaded[rank]["model"]["w1"],
+                                      states[rank]["model"]["w1"])
+
+
+def test_negative_prefetch_depth_rejected(tmp_path):
+    with pytest.raises(RestartError):
+        CheckpointLoader(FileStore(tmp_path), prefetch_depth=-1)
+
+
+# ---------------------------------------------------------------------------
+# load_all(validate=False) semantics (satellite bugfix)
+# ---------------------------------------------------------------------------
+
+def _corrupt_one_payload_byte(store, tag):
+    victim = sorted(store.checkpoint_dir(tag).glob("*.shard"))[0]
+    raw = bytearray(victim.read_bytes())
+    raw[-1] ^= 0xFF  # payload corruption: size unchanged, CRC broken
+    victim.write_bytes(bytes(raw))
+
+
+@pytest.mark.parametrize("use_mmap", [True, False])
+def test_load_all_validate_false_skips_per_shard_checks(tmp_path, use_mmap):
+    """The docstring always promised it; now the flag really skips the
+    per-shard size/CRC pass instead of validating anyway."""
+    store = FileStore(tmp_path)
+    _commit(store, _state(seed=6), shards_per_rank=2)
+    _corrupt_one_payload_byte(store, "ckpt")
+
+    loader = CheckpointLoader(store, use_mmap=use_mmap)
+    with pytest.raises(ConsistencyError):
+        loader.load_all("ckpt", validate=True)
+    # validate=False trusts the medium: the corrupted payload loads fine.
+    states = loader.load_all("ckpt", validate=False)
+    assert states[0]["iteration"] == 6
+
+
+def test_load_all_validate_false_still_checks_manifest_completeness(tmp_path):
+    import json
+
+    store = FileStore(tmp_path)
+    _commit(store, _state(seed=7), shards_per_rank=2)
+    manifest = store.read_manifest("ckpt")
+    manifest["world_size"] = 2  # rank 1 never contributed
+    store.manifest_path("ckpt").write_text(json.dumps(manifest), "utf-8")
+
+    loader = CheckpointLoader(store)
+    with pytest.raises((ConsistencyError, RestartError)):
+        loader.load_all("ckpt", validate=False)
+
+
+# ---------------------------------------------------------------------------
+# Retention: keep_latest(0)
+# ---------------------------------------------------------------------------
+
+def test_keep_latest_zero_deletes_every_checkpoint(tmp_path):
+    """keep_latest(0) is the 'wipe the history' form: every committed
+    checkpoint is deleted, and uncommitted (torn) directories are untouched."""
+    store = FileStore(tmp_path)
+    for index in range(3):
+        _commit(store, _state(seed=index), tag=f"ckpt-{index}", shards_per_rank=1)
+    store.write_shard("torn", "rank0", [b"half-flushed"])  # no manifest
+
+    loader = CheckpointLoader(store)
+    removed = loader.keep_latest(0)
+    assert removed == ["ckpt-0", "ckpt-1", "ckpt-2"]
+    assert loader.committed_checkpoints() == []
+    # keep_latest only governs committed history; the torn dir is prune's job.
+    assert store.list_checkpoints() == ["torn"]
