@@ -26,7 +26,7 @@ from repro.config import CheckpointPolicy
 from repro.core import DataStatesCheckpointEngine, SynchronousCheckpointEngine
 from repro.core.flush_pipeline import DEFAULT_WRITER_THREADS, FlushPipeline
 from repro.core.lazy_snapshot import SnapshotJob
-from repro.io import FileStore
+from repro.io import FileStore, ObjectStore, TieredStore
 from repro.memory import PinnedHostPool
 from repro.model import NumpyTransformerLM, tiny_config
 from repro.restart import CheckpointLoader
@@ -261,13 +261,14 @@ def _measure_flush(bench_dir, pool, state, mode, rounds):
 
 
 def _measure_save_stall(tmp_path, state, parallel, shards_per_rank=1,
-                        capture_streams=1, label=None):
+                        capture_streams=1, label=None, store=None):
     policy = CheckpointPolicy(host_buffer_size=2 * sum(a.nbytes for a in state.values()),
                               parallel_shard_writes=parallel,
                               shards_per_rank=shards_per_rank,
                               capture_streams=capture_streams)
-    mode = label or ("parallel" if parallel else "streaming")
-    store = FileStore(tmp_path / f"engine-{mode}")
+    if store is None:
+        mode = label or ("parallel" if parallel else "streaming")
+        store = FileStore(tmp_path / f"engine-{mode}")
     engine = DataStatesCheckpointEngine(store, policy=policy)
     try:
         start = time.perf_counter()
@@ -301,6 +302,43 @@ def _measure_shards_sweep(bench_dir, state, shards_values, rounds=2):
             "stall_seconds": best_stall,
             "durable_seconds": best_durable,
         }
+    return sweep
+
+
+def _measure_tiered_drain_sweep(bench_dir, state, workers_values, rounds=2):
+    """Commit latency and background-drain completion time of the tiered
+    store as the drain worker pool grows (best of ``rounds``).
+
+    ``commit_seconds`` is the training-visible number — the save is durable
+    once the *fast* tier holds it — and should track the plain ``file``
+    backend; ``drained_seconds`` is when the slow tier caught up (the
+    REPLICATED transition), which only the background pipeline waits for.
+    """
+    sweep = {}
+    for workers in workers_values:
+        best = {"stall_seconds": float("inf"), "commit_seconds": float("inf"),
+                "drained_seconds": float("inf")}
+        bytes_drained = 0
+        for round_index in range(rounds):
+            fast = FileStore(bench_dir / f"tiered-w{workers}-{round_index}" / "fast")
+            slow = ObjectStore(bucket=f"drain-bench-w{workers}-{round_index}")
+            store = TieredStore(fast, slow, drain_workers=workers,
+                                keep_local_latest=1)
+            try:
+                start = time.perf_counter()
+                stall, commit, _ = _measure_save_stall(
+                    bench_dir, state, parallel=True, store=store)
+                store.wait_drained("stall", timeout=300.0)
+                drained = time.perf_counter() - start
+                bytes_drained = store.drain_metrics()["bytes_drained"]
+                best["stall_seconds"] = min(best["stall_seconds"], stall)
+                best["commit_seconds"] = min(best["commit_seconds"], commit)
+                best["drained_seconds"] = min(best["drained_seconds"], drained)
+            finally:
+                store.close()
+                store.delete_checkpoint("stall")
+        best["bytes_drained"] = bytes_drained
+        sweep[str(workers)] = best
     return sweep
 
 
@@ -384,12 +422,25 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
         # Restore-side prefetching: load_all latency over an 8-part shard-set
         # as the fetch+validate stage's depth grows (0 = serial).
         prefetch_sweep = _measure_prefetch_sweep(tmp_path, state, (0, 2, 4, 8))
+
+        # Tiered store: fast-tier commit latency (compared against a plain
+        # file store on the *same* device, so the delta is the tiered
+        # plumbing, not the disk) and background drain completion time as
+        # the drain worker pool grows.
+        _, durable_file_bench, baseline_store = _measure_save_stall(
+            bench_dir, state, parallel=True, label="tiered-baseline")
+        baseline_store.delete_checkpoint("stall")
+        drain_sweep = {
+            "file_durable_seconds": durable_file_bench,
+            "workers": _measure_tiered_drain_sweep(bench_dir, state, (1, 2, 4)),
+        }
         return {
             "shard_bytes": nbytes,
             "cpu_count": os.cpu_count(),
             "writer_threads": DEFAULT_WRITER_THREADS,
             "shards_per_rank_sweep": shards_sweep,
             "restore_prefetch_sweep": prefetch_sweep,
+            "tiered_drain_sweep": drain_sweep,
             "flush": flush,
             "restore": {
                 "read_seconds": read_s,
@@ -454,6 +505,13 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
             "MB/s": round(results["shard_bytes"] / row["mmap_seconds"] / 1e6, 1),
             "seconds": round(row["mmap_seconds"], 4),
         })
+    drain = results["tiered_drain_sweep"]
+    for workers, row in sorted(drain["workers"].items(), key=lambda item: int(item[0])):
+        rows.append({
+            "path": f"tiered drain_workers={workers} commit / drained",
+            "MB/s": round(results["shard_bytes"] / row["commit_seconds"] / 1e6, 1),
+            "seconds": f"{row['commit_seconds']:.4f} / {row['drained_seconds']:.4f}",
+        })
     emit("io_fastpath", format_table(
         rows, title=f"I/O fast path vs legacy ({results['shard_bytes'] / 1e6:.0f} MB shard, "
                     f"{results['cpu_count']} CPUs) [{json_path.name}]"))
@@ -481,3 +539,12 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
     assert best_prefetched <= serial * 2.0, (
         f"prefetched restore regressed: best {best_prefetched:.4f}s vs "
         f"serial {serial:.4f}s")
+    # The tiered store's training-visible commit must track the plain file
+    # backend — the drain is background work and may not tax the save path.
+    # Same 2x noise margin as above (both numbers hit the same device).
+    best_commit = min(row["commit_seconds"] for row in drain["workers"].values())
+    assert best_commit <= drain["file_durable_seconds"] * 2.0, (
+        f"tiered fast-tier commit regressed vs plain file store: "
+        f"{best_commit:.4f}s vs {drain['file_durable_seconds']:.4f}s")
+    # Every sweep point fully replicated its checkpoint to the slow tier.
+    assert all(row["bytes_drained"] > 0 for row in drain["workers"].values())

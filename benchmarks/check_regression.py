@@ -7,11 +7,12 @@ more than the threshold (default 25%):
 * ``BENCH_real_engines.json`` — per-engine ``blocked_ms_per_iteration``
   (the training-visible checkpoint stall; higher is worse);
 * ``BENCH_io_fastpath.json`` — the tmpfs-backed, best-of-N-rounds timings:
-  the ``flush`` section and the ``shards_per_rank_sweep`` durable times.
-  The ``restore``/``save_stall`` sections are *tracked* in the JSON but not
-  gated: they are single-shot measurements against the runner's real disk,
-  whose throughput on shared CI VMs swings by 2-3x between runs of identical
-  code.
+  the ``flush`` section, the ``shards_per_rank_sweep`` durable times, and
+  the ``tiered_drain_sweep`` fast-tier commit times (the training-visible
+  latency of the tiered store; its background ``drained_seconds`` ride along
+  ungated, like ``restore``/``save_stall`` — single-shot measurements whose
+  throughput on shared CI VMs swings by 2-3x between runs of identical
+  code).
 
 Tiny absolute values are noise on shared CI runners, so a regression is only
 reported when the metric also moved by more than an absolute floor
@@ -92,6 +93,10 @@ def _fastpath_metrics(data: Dict) -> Iterator[Tuple[str, float]]:
         for key, value in row.items():
             if key == "durable_seconds":
                 yield f"shards_per_rank_sweep[{shards}].{key}", float(value)
+    for workers, row in data.get("tiered_drain_sweep", {}).get("workers", {}).items():
+        if "commit_seconds" in row:
+            yield (f"tiered_drain_sweep[{workers}].commit_seconds",
+                   float(row["commit_seconds"]))
 
 
 def check_io_fastpath(baseline: Dict, fresh: Dict, threshold: float,

@@ -16,9 +16,21 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..config import CheckpointPolicy
 from ..core import ENGINE_LABELS, ENGINE_NAMES, canonical_engine_name, create_real_engine
-from ..io import create_store
+from ..io import canonical_store_name, create_store
 from ..model import NumpyTransformerLM, tiny_config
 from ..training import RealTrainer
+
+
+def _store_location(store, store_backend: str) -> str:
+    """Display-friendly location of a store (directory, bucket, or tier pair)."""
+    fast = getattr(store, "fast", None)
+    if fast is not None:
+        return (f"tiered://{_store_location(fast, 'fast')} -> "
+                f"{_store_location(store.slow, 'slow')}")
+    root = getattr(store, "root", None)
+    if root is not None:
+        return str(root)
+    return f"object://{getattr(store, 'bucket', store_backend)}"
 
 
 def run_real_engine(
@@ -31,14 +43,26 @@ def run_real_engine(
     seed: int = 0,
     policy: Optional[CheckpointPolicy] = None,
     store_backend: str = "file",
+    store_kwargs: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Train under one engine and measure its per-iteration blocked time.
 
-    ``store_backend`` selects the shard store by registry name (``file`` or
-    ``object``); the engine pipeline is identical either way.
+    ``store_backend`` selects the shard store by registry name (``file``,
+    ``object``, ``tiered``, ...); the engine pipeline is identical either
+    way.  ``store_kwargs`` are forwarded to :func:`repro.io.create_store`
+    (the tiered backend's composition knobs).  On a draining store the row
+    additionally reports the drain pipeline's counters, measured after
+    waiting the background replication out.
     """
     name = canonical_engine_name(engine_name)
-    store = create_store(store_backend, root=Path(workdir) / name)
+    kwargs = dict(store_kwargs or {})
+    if policy is not None and canonical_store_name(store_backend) == "tiered":
+        # The policy's tiered knobs reach the store here (explicit
+        # store_kwargs still win) — a policy with drain_workers=8 must not
+        # silently run a 2-worker drain.
+        kwargs.setdefault("drain_workers", policy.drain_workers)
+        kwargs.setdefault("keep_local_latest", policy.keep_local_latest)
+    store = create_store(store_backend, root=Path(workdir) / name, **kwargs)
     engine = create_real_engine(name, store, policy=policy)
     with engine:
         model = NumpyTransformerLM(
@@ -57,12 +81,18 @@ def run_real_engine(
             start = time.perf_counter()
             engine.load(committed[-1])
             restore_seconds = time.perf_counter() - start
-    root = getattr(store, "root", None)
+    # Tiered stores: wait out the background drain so the row reports a
+    # settled pipeline (how much the slow tier lagged the training loop).
+    drain_metrics = None
+    if callable(getattr(store, "wait_drained", None)):
+        start = time.perf_counter()
+        store.wait_drained()
+        drain_metrics = dict(store.drain_metrics())
+        drain_metrics["drain_wait_seconds"] = time.perf_counter() - start
     return {
         "engine": name,
         "label": ENGINE_LABELS.get(name, name),
-        "checkpoint_dir": str(root) if root is not None
-        else f"object://{getattr(store, 'bucket', store_backend)}",
+        "checkpoint_dir": _store_location(store, store_backend),
         "iterations": len(report.steps),
         "checkpoints": len(report.checkpoints),
         "committed": len(committed),
@@ -74,6 +104,7 @@ def run_real_engine(
         "blocked_ms_per_iteration": report.median_blocked_seconds_per_iteration * 1e3,
         "blocked_ms_per_iteration_mean": report.blocked_seconds_per_iteration * 1e3,
         "restore_seconds": restore_seconds,
+        "drain": drain_metrics,
     }
 
 
@@ -87,6 +118,7 @@ def compare_real_engines(
     seed: int = 0,
     policy: Optional[CheckpointPolicy] = None,
     store_backend: str = "file",
+    store_kwargs: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
     """Per-engine blocked-time rows for every (or the given) engine name."""
     rows = []
@@ -96,14 +128,17 @@ def compare_real_engines(
             iterations=iterations, checkpoint_interval=checkpoint_interval,
             hidden_size=hidden_size, num_layers=num_layers, seed=seed,
             policy=policy, store_backend=store_backend,
+            store_kwargs=store_kwargs,
         ))
     return rows
 
 
 def comparison_table_rows(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
     """Rounded, display-friendly version of :func:`compare_real_engines` rows."""
-    return [
-        {
+    with_drain = any(row.get("drain") for row in rows)
+    table = []
+    for row in rows:
+        entry = {
             "engine": row["engine"],
             "label": row["label"],
             "ckpts": row["checkpoints"],
@@ -114,5 +149,12 @@ def comparison_table_rows(rows: Sequence[Dict[str, object]]) -> List[Dict[str, o
             "restore_ms": (round(float(row["restore_seconds"]) * 1e3, 3)
                            if row.get("restore_seconds") is not None else None),
         }
-        for row in rows
-    ]
+        if with_drain:
+            drain = row.get("drain") or {}
+            entry["drained"] = drain.get("drained_checkpoints")
+            entry["evicted"] = drain.get("evicted_checkpoints")
+            entry["drain_wait_ms"] = (
+                round(float(drain["drain_wait_seconds"]) * 1e3, 3)
+                if drain.get("drain_wait_seconds") is not None else None)
+        table.append(entry)
+    return table

@@ -39,7 +39,7 @@ from .analysis import (
 )
 from .checkpoint import ENGINE_NAMES
 from .config import CheckpointPolicy
-from .core import canonical_engine_name
+from .core import available_real_engines, canonical_engine_name, resolve_real_engine_class
 from .exceptions import ConfigurationError
 from .io import STORE_NAMES, canonical_store_name
 from .model import MODEL_SIZES
@@ -47,19 +47,58 @@ from .training import simulate_run
 
 
 def _engine_name(value: str) -> str:
-    """argparse type: canonicalize an (aliased) engine name."""
+    """argparse type: validate a real-mode engine name against the live registry.
+
+    Resolution goes through :func:`repro.core.resolve_real_engine_class`, so
+    aliases canonicalize, custom ``register_real_engine`` names stay
+    selectable, and an unknown name fails fast here — with the list of valid
+    names — instead of surfacing as a deep registry error mid-run.
+    """
+    try:
+        resolve_real_engine_class(value)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(
+            f"{exc} (registered engines: {available_real_engines()})") from exc
     try:
         return canonical_engine_name(value)
+    except ConfigurationError:
+        return value.strip().lower()  # custom engine under a non-canonical name
+
+
+def _sim_engine_name(value: str) -> str:
+    """argparse type: validate a name against the *simulated* engine registry."""
+    from .checkpoint.factory import resolve_engine_class
+
+    try:
+        resolve_engine_class(value)
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value.strip().lower()
 
 
 def _store_name(value: str) -> str:
-    """argparse type: validate a shard-store backend name."""
+    """argparse type: validate a shard-store backend name against the registry."""
     try:
         return canonical_store_name(value)
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _positive_int(value: str) -> int:
+    """argparse type: a strictly positive integer (worker counts)."""
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer (got {value})")
+    return number
+
+
+def _watermark(value: str) -> int:
+    """argparse type: an eviction watermark (>= 0, or -1 for 'never evict')."""
+    number = int(value)
+    if number < -1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0, or -1 to disable eviction (got {value})")
+    return number
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -77,7 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="simulate one training run")
     simulate.add_argument("--model", choices=MODEL_SIZES, default="13B")
-    simulate.add_argument("--engine", type=_engine_name, choices=ENGINE_NAMES,
+    # No argparse choices= on engine/store flags anywhere: the type
+    # functions validate against the live registries, so custom
+    # register_*() names stay selectable and unknown names fail fast with
+    # the registry's own error message.
+    simulate.add_argument("--engine", type=_sim_engine_name,
                           default="datastates", metavar="|".join(ENGINE_NAMES))
     simulate.add_argument("--iterations", type=int, default=5)
     simulate.add_argument("--checkpoint-interval", type=int, default=1)
@@ -98,13 +141,28 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--layers", type=int, default=2)
         cmd.add_argument("--workdir", default=None,
                          help="checkpoint directory (default: a fresh temp dir)")
-        # No argparse choices= here: _store_name validates against the live
-        # registry, so custom register_store() backends stay selectable.
         cmd.add_argument("--store", type=_store_name,
                          default="file", metavar="|".join(STORE_NAMES),
                          help="shard store backend: 'file' (POSIX directory), "
                               "'object' (in-memory S3-like, one part per key), "
-                              "or any register_store() name")
+                              "'tiered' (fast tier + async drain to a slow "
+                              "tier), or any register_store() name")
+        cmd.add_argument("--fast-store", type=_store_name, default="file",
+                         metavar="NAME",
+                         help="tiered only: backend of the fast tier "
+                              "(default: file)")
+        cmd.add_argument("--slow-store", type=_store_name, default="object",
+                         metavar="NAME",
+                         help="tiered only: backend of the slow tier "
+                              "(default: object)")
+        cmd.add_argument("--drain-workers", type=_positive_int, default=None,
+                         help="tiered only: background workers draining "
+                              "committed checkpoints to the slow tier "
+                              "(default: policy default)")
+        cmd.add_argument("--keep-local-latest", type=_watermark, default=None,
+                         help="tiered only: newest replicated checkpoints "
+                              "kept on the fast tier; older ones are evicted "
+                              "(-1 disables eviction; default: policy default)")
         cmd.add_argument("--prefetch-depth", type=int, default=None,
                          help="restore-side prefetch workers fetching+validating "
                               "shard parts ahead of deserialization "
@@ -113,7 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser(
         "train", help="train the real NumPy transformer under one engine")
-    train.add_argument("--engine", type=_engine_name, choices=ENGINE_NAMES,
+    train.add_argument("--engine", type=_engine_name,
                        default="datastates", metavar="|".join(ENGINE_NAMES))
     add_real_args(train)
 
@@ -121,8 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare-real",
         help="run the real trainer under all four engines and compare stalls")
     compare.add_argument("--engines", nargs="*", type=_engine_name,
-                         choices=ENGINE_NAMES, default=None,
-                         metavar="|".join(ENGINE_NAMES),
+                         default=None, metavar="|".join(ENGINE_NAMES),
                          help="subset of engines (default: all four)")
     add_real_args(compare)
     return parser
@@ -137,20 +194,58 @@ def _layout_policy(args: argparse.Namespace,
     engine allocate a 16 GB pinned pool the moment any layout flag is used.
     """
     prefetch_depth = getattr(args, "prefetch_depth", None)
+    drain_workers = getattr(args, "drain_workers", None)
+    keep_local_latest = getattr(args, "keep_local_latest", None)
     if (args.shards_per_rank == 1 and args.capture_streams == 1
-            and prefetch_depth is None):
+            and prefetch_depth is None and drain_workers is None
+            and keep_local_latest is None):
         return None
     from .core.base_engine import DEFAULT_HOST_BUFFER_SIZE
 
     overrides = {}
     if prefetch_depth is not None:
         overrides["prefetch_depth"] = prefetch_depth
+    if drain_workers is not None:
+        overrides["drain_workers"] = drain_workers
+    if keep_local_latest is not None and keep_local_latest >= 0:
+        # -1 (never evict) is a store-level mode with no policy encoding;
+        # the store kwargs below carry it.
+        overrides["keep_local_latest"] = keep_local_latest
     return CheckpointPolicy(
         shards_per_rank=args.shards_per_rank,
         capture_streams=args.capture_streams,
         host_buffer_size=host_buffer_size or DEFAULT_HOST_BUFFER_SIZE,
         **overrides,
     )
+
+
+def _store_kwargs(args: argparse.Namespace) -> Optional[dict]:
+    """Tiered-store construction kwargs from the CLI flags.
+
+    Only the ``tiered`` backend takes composition knobs; using them with a
+    single-level ``--store`` is almost certainly a mistake, so it fails fast
+    here rather than being silently ignored.
+    """
+    tiered_flags = (args.fast_store != "file" or args.slow_store != "object"
+                    or args.drain_workers is not None
+                    or args.keep_local_latest is not None)
+    if args.store != "tiered":
+        if tiered_flags:
+            raise SystemExit(
+                "--fast-store/--slow-store/--drain-workers/--keep-local-latest "
+                f"only apply to --store tiered (got --store {args.store})")
+        return None
+    policy_defaults = CheckpointPolicy()
+    keep = (policy_defaults.keep_local_latest if args.keep_local_latest is None
+            else args.keep_local_latest)
+    return {
+        "fast_store": args.fast_store,
+        "slow_store": args.slow_store,
+        "drain_workers": (policy_defaults.drain_workers
+                          if args.drain_workers is None else args.drain_workers),
+        # -1 means "never evict" (the store's keep_local_latest=None mode).
+        "keep_local_latest": None if keep == -1 else keep,
+    }
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -210,6 +305,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         iterations=args.iterations, checkpoint_interval=args.checkpoint_interval,
         hidden_size=args.hidden_size, num_layers=args.layers,
         policy=_layout_policy(args), store_backend=args.store,
+        store_kwargs=_store_kwargs(args),
     )
     print(format_table(comparison_table_rows([row]),
                        title=f"Real-mode training ({row['label']})"))
@@ -224,6 +320,7 @@ def _cmd_compare_real(args: argparse.Namespace) -> int:
         iterations=args.iterations, checkpoint_interval=args.checkpoint_interval,
         hidden_size=args.hidden_size, num_layers=args.layers,
         policy=_layout_policy(args), store_backend=args.store,
+        store_kwargs=_store_kwargs(args),
     )
     print(format_table(
         comparison_table_rows(rows),

@@ -27,6 +27,14 @@ from .units import GB, gbps
 #: ``prefetch_depth`` (:class:`repro.restart.CheckpointLoader`).
 DEFAULT_PREFETCH_DEPTH = 4
 
+#: Default number of background drain workers of the tiered store — shared
+#: by :class:`CheckpointPolicy` and :class:`repro.io.TieredStore`.
+DEFAULT_DRAIN_WORKERS = 2
+
+#: Default tiered-store eviction watermark: how many of the newest
+#: replicated checkpoints keep their fast-tier copy for quick restarts.
+DEFAULT_KEEP_LOCAL_LATEST = 1
+
 
 @dataclass(frozen=True)
 class PlatformSpec:
@@ -228,6 +236,15 @@ class CheckpointPolicy:
     #: ranks in ``load_all``).  ``0`` disables prefetching (strictly serial
     #: fetch -> validate -> deserialize).
     prefetch_depth: int = DEFAULT_PREFETCH_DEPTH
+    #: Tiered store: number of background workers draining committed
+    #: checkpoints from the fast tier to the slow tier (only consulted when
+    #: the engine's store is ``tiered``).
+    drain_workers: int = DEFAULT_DRAIN_WORKERS
+    #: Tiered store: eviction watermark — how many of the newest replicated
+    #: checkpoints keep their fast-tier copy; older replicated copies are
+    #: evicted so the fast tier never grows past the hot set.  ``0`` evicts
+    #: every replicated checkpoint.
+    keep_local_latest: int = DEFAULT_KEEP_LOCAL_LATEST
 
     def __post_init__(self) -> None:
         if self.host_buffer_size <= 0:
@@ -242,6 +259,10 @@ class CheckpointPolicy:
             raise ConfigurationError("capture_streams must be positive")
         if self.prefetch_depth < 0:
             raise ConfigurationError("prefetch_depth must be >= 0")
+        if self.drain_workers <= 0:
+            raise ConfigurationError("drain_workers must be positive")
+        if self.keep_local_latest < 0:
+            raise ConfigurationError("keep_local_latest must be >= 0")
 
     def with_overrides(self, **kwargs: object) -> "CheckpointPolicy":
         """Return a copy of this policy with selected fields replaced."""

@@ -1,15 +1,25 @@
 """Storage backends: the pluggable shard-store protocol and its registry
 (:class:`ShardStore`, :func:`create_store`), the real POSIX file store, the
-in-memory S3-like object store, and the simulated NVMe/Lustre models."""
+in-memory S3-like object store, the tiered fast/slow composition with its
+background drain pipeline, and the simulated NVMe/Lustre/tiered models."""
 
-from .filestore import FileStore, MappedShard, ShardWriter, WriteReceipt, fsync_directory
+from .filestore import (
+    FileStore,
+    MappedShard,
+    ShardWriter,
+    WriteReceipt,
+    fsync_directory,
+    publish_file,
+)
 from .flush_workers import FlushTask, FlushWorkerPool
 from .objectstore import ObjectShardWriter, ObjectStore
 from .sim_storage import (
     SimNodeLocalStorage,
     SimParallelFileSystem,
+    SimTieredStorage,
     make_node_local_storage,
     make_parallel_fs,
+    make_tiered_storage,
 )
 from .store import (
     STORE_LABELS,
@@ -20,8 +30,10 @@ from .store import (
     create_store,
     register_store,
     supports_mmap,
+    supports_ranged_reads,
     supports_shard_writer,
 )
+from .tiered import DrainState, TieredStore
 
 __all__ = [
     "ShardStore",
@@ -32,18 +44,24 @@ __all__ = [
     "create_store",
     "register_store",
     "supports_mmap",
+    "supports_ranged_reads",
     "supports_shard_writer",
     "FileStore",
     "ShardWriter",
     "MappedShard",
     "WriteReceipt",
     "fsync_directory",
+    "publish_file",
     "ObjectStore",
     "ObjectShardWriter",
+    "TieredStore",
+    "DrainState",
     "FlushTask",
     "FlushWorkerPool",
     "SimParallelFileSystem",
     "SimNodeLocalStorage",
+    "SimTieredStorage",
     "make_parallel_fs",
     "make_node_local_storage",
+    "make_tiered_storage",
 ]

@@ -62,6 +62,29 @@ def fsync_directory(directory: Union[str, Path]) -> None:
         os.close(fd)
 
 
+def publish_file(tmp_name: Union[str, Path], final_path: Union[str, Path],
+                 directory: Union[str, Path], fsync: bool = False) -> None:
+    """Atomically publish ``tmp_name`` under ``final_path`` (rename + durability).
+
+    The one rename-then-fsync-parent sequence every publish path shares
+    (shard writers, streaming shard writes, manifests, the tiered store's
+    tier-index sidecar).  With ``fsync=True`` the parent directory is fsynced
+    after the rename, because the rename itself is not durable until then.
+
+    Failures propagate as the underlying :class:`OSError`; when the rename
+    already succeeded and only the directory fsync failed, the error carries
+    ``.published = True`` so callers can report that the entry is visible but
+    its publish is not yet durable.
+    """
+    os.replace(str(tmp_name), str(final_path))
+    if fsync:
+        try:
+            fsync_directory(directory)
+        except OSError as exc:
+            exc.published = True
+            raise
+
+
 class ShardWriter:
     """Offset-addressed writer for one shard file.
 
@@ -126,22 +149,20 @@ class ShardWriter:
             os.close(self._fd)
             self._closed = True
         try:
-            os.replace(self._tmp_name, self.final_path)
+            publish_file(self._tmp_name, self.final_path, self.directory,
+                         fsync=self.fsync)
         except OSError as exc:
-            raise CheckpointError(
-                f"cannot publish shard {self.final_path.name!r}: {exc} "
-                f"(checkpoint directory pruned while the write was in flight?)"
-            ) from exc
-        if self.fsync:
-            try:
-                fsync_directory(self.directory)
-            except OSError as exc:
+            if getattr(exc, "published", False):
                 # The shard is visible but its publish is not yet durable —
                 # report that precisely rather than blaming a prune race.
                 raise CheckpointError(
                     f"shard {self.final_path.name!r} was published but its "
                     f"directory entry could not be fsynced: {exc}"
                 ) from exc
+            raise CheckpointError(
+                f"cannot publish shard {self.final_path.name!r}: {exc} "
+                f"(checkpoint directory pruned while the write was in flight?)"
+            ) from exc
         self._committed = True
         return WriteReceipt(path=self.final_path, nbytes=self.total_bytes)
 
@@ -207,6 +228,16 @@ class MappedShard:
         self.close()
 
 
+def _check_range(tag: str, shard_name: str, offset: int, length: int,
+                 size: int) -> None:
+    """Shared bounds check of the ranged-read capability (file and object)."""
+    if offset < 0 or length < 0 or offset + length > size:
+        raise CheckpointError(
+            f"range [{offset}, {offset + length}) outside shard "
+            f"{shard_name!r} of checkpoint {tag!r} ({size} bytes)"
+        )
+
+
 class FileStore:
     """A directory-backed store of checkpoint shard files."""
 
@@ -251,11 +282,7 @@ class FileStore:
                 handle.flush()
                 if self.fsync:
                     os.fsync(handle.fileno())
-            os.replace(tmp_name, final_path)
-            if self.fsync:
-                # The rename is only durable once the directory entry is
-                # synced; without this a crash could lose the publish itself.
-                fsync_directory(directory)
+            publish_file(tmp_name, final_path, directory, fsync=self.fsync)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -289,11 +316,9 @@ class FileStore:
                 handle.flush()
                 if self.fsync:
                     os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-            if self.fsync:
-                # A manifest whose rename is lost un-commits the checkpoint;
-                # sync the directory entry too.
-                fsync_directory(directory)
+            # A manifest whose rename is lost un-commits the checkpoint, so
+            # the publish must sync the directory entry too.
+            publish_file(tmp_name, path, directory, fsync=self.fsync)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -309,6 +334,37 @@ class FileStore:
         if not path.exists():
             raise CheckpointError(f"shard {shard_name!r} of checkpoint {tag!r} does not exist")
         return path.read_bytes()
+
+    def read_shard_range(self, tag: str, shard_name: str,
+                         offset: int, length: int) -> bytes:
+        """Read ``length`` bytes of one shard starting at ``offset`` (pread).
+
+        The range must lie entirely inside the shard — a short read would
+        silently corrupt a restore, so out-of-bounds ranges are rejected
+        instead of truncated.
+        """
+        path = self.shard_path(tag, shard_name)
+        if not path.exists():
+            raise CheckpointError(f"shard {shard_name!r} of checkpoint {tag!r} does not exist")
+        fd = os.open(str(path), os.O_RDONLY)
+        try:
+            size = os.fstat(fd).st_size
+            _check_range(tag, shard_name, offset, length, size)
+            pieces = []
+            position = offset
+            end = offset + length
+            while position < end:
+                piece = os.pread(fd, end - position, position)
+                if not piece:
+                    raise CheckpointError(
+                        f"shard {shard_name!r} of checkpoint {tag!r} ended at "
+                        f"byte {position}, expected {end}"
+                    )
+                pieces.append(piece)
+                position += len(piece)
+        finally:
+            os.close(fd)
+        return pieces[0] if len(pieces) == 1 else b"".join(pieces)
 
     def open_shard_mmap(self, tag: str, shard_name: str) -> MappedShard:
         """Memory-map one shard file for zero-copy restore."""

@@ -38,7 +38,7 @@ from pathlib import PurePosixPath
 from typing import Dict, Iterable, List, Union
 
 from ..exceptions import CheckpointError
-from .filestore import WriteReceipt
+from .filestore import WriteReceipt, _check_range
 
 _SHARD_SUFFIX = ".shard"
 _MANIFEST_KEY = "manifest.json"
@@ -116,6 +116,11 @@ class ObjectShardWriter:
 
 class ObjectStore:
     """An in-memory S3-like store of checkpoint shard objects (one per key)."""
+
+    #: Remote-style backend: restores benefit from bounded ranged GETs
+    #: instead of materialising whole objects (the loader consults this — a
+    #: local file store reads a shard in one pass instead).
+    prefers_ranged_reads = True
 
     def __init__(self, bucket: str = "repro-checkpoints", fsync: bool = False) -> None:
         # ``fsync`` is accepted for signature parity with FileStore and
@@ -196,6 +201,19 @@ class ObjectStore:
             raise CheckpointError(
                 f"shard {shard_name!r} of checkpoint {tag!r} does not exist"
             ) from None
+
+    def read_shard_range(self, tag: str, shard_name: str,
+                         offset: int, length: int) -> bytes:
+        """Ranged GET: ``length`` bytes of one shard object from ``offset``.
+
+        Each call is one request (it bumps ``get_count``), mirroring an S3
+        ``Range:`` GET — what lets the restore pipeline stream sub-shard
+        chunks instead of materialising whole objects.  Out-of-bounds ranges
+        are rejected rather than truncated (see the file backend).
+        """
+        payload = self.read_shard(tag, shard_name)
+        _check_range(tag, shard_name, offset, length, len(payload))
+        return payload[offset:offset + length]
 
     def read_manifest(self, tag: str) -> Dict:
         """GET the commit manifest of checkpoint ``tag``."""

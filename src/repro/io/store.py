@@ -25,11 +25,20 @@ optional (feature-detected with ``callable(getattr(store, name, None))``)
     engine fall back to streaming writes when absent);
     ``open_shard_mmap`` — zero-copy mapped reads for the mmap restore path
     (:class:`~repro.restart.CheckpointLoader` falls back to ``read_shard``
-    when absent — e.g. an object store has no file to map).
+    when absent — e.g. an object store has no file to map);
+    ``read_shard_range`` — sub-shard ranged reads (``pread`` on the file
+    backend, a ``Range:`` GET on the object backend) used by the restore
+    pipeline to stream large parts in bounded chunks and by the tiered
+    store's drain to copy without materialising whole shards.
+
+The ``tiered`` backend (:class:`~repro.io.TieredStore`) composes two
+registered stores into a local fast tier with an asynchronous drain to a
+remote slow tier; see :mod:`repro.io.tiered`.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Protocol, Union, runtime_checkable
 
 from ..exceptions import ConfigurationError
@@ -88,12 +97,13 @@ class ShardStore(Protocol):
 
 
 #: Canonical store names, default backend first.
-STORE_NAMES: List[str] = ["file", "object"]
+STORE_NAMES: List[str] = ["file", "object", "tiered"]
 
 #: Display labels used in report/bench output.
 STORE_LABELS: Dict[str, str] = {
     "file": "FileStore (POSIX directory)",
     "object": "ObjectStore (in-memory, one part per key)",
+    "tiered": "TieredStore (fast tier + async drain to slow tier)",
 }
 
 _StoreFactory = Callable[..., ShardStore]
@@ -114,9 +124,49 @@ def _make_object_store(root=None, fsync: bool = False, **kwargs) -> ShardStore:
     return ObjectStore(bucket=bucket, fsync=fsync, **kwargs)
 
 
+#: Sentinel for "knob not given" in the tiered factory — distinct from None,
+#: which is TieredStore's documented "never evict" value for keep_local_latest.
+_UNSET = object()
+
+
+def _make_tiered_store(root=None, fsync: bool = False, fast_store: str = "file",
+                       slow_store: str = "object", drain_workers=_UNSET,
+                       keep_local_latest=_UNSET, **kwargs) -> ShardStore:
+    """Compose a :class:`~repro.io.TieredStore` from two registry backends.
+
+    The fast tier lives under ``root/fast`` (its sidecar tier-index next to
+    the checkpoint directories), the slow tier under ``root/slow`` when it is
+    directory-backed or a ``<root>-remote`` bucket label otherwise.  Any
+    registered pair of names works, so e.g. ``fast_store="object"`` builds an
+    all-in-memory tier pair for tests.  ``keep_local_latest=None`` passes
+    through as TieredStore's "never evict" mode.
+    """
+    from .tiered import DEFAULT_DRAIN_WORKERS, DEFAULT_KEEP_LOCAL_LATEST, TieredStore
+
+    if root is None:
+        raise ConfigurationError("the 'tiered' store needs a root directory")
+    root = Path(root)
+    fast_name = canonical_store_name(fast_store)
+    slow_name = canonical_store_name(slow_store)
+    if "tiered" in (fast_name, slow_name):
+        raise ConfigurationError("tiers of a tiered store cannot themselves be tiered")
+    slow_root = root / "slow" if slow_name == "file" else f"{root.name}-remote"
+    return TieredStore(
+        fast=create_store(fast_name, root=root / "fast", fsync=fsync),
+        slow=create_store(slow_name, root=slow_root, fsync=fsync),
+        drain_workers=DEFAULT_DRAIN_WORKERS if drain_workers is _UNSET
+        else int(drain_workers),
+        keep_local_latest=DEFAULT_KEEP_LOCAL_LATEST if keep_local_latest is _UNSET
+        else keep_local_latest,
+        fsync=fsync,
+        **kwargs,
+    )
+
+
 _STORE_REGISTRY: Dict[str, _StoreFactory] = {
     "file": _make_file_store,
     "object": _make_object_store,
+    "tiered": _make_tiered_store,
 }
 
 
@@ -172,3 +222,8 @@ def supports_shard_writer(store: object) -> bool:
 def supports_mmap(store: object) -> bool:
     """Whether ``store`` offers zero-copy mapped reads for restores."""
     return callable(getattr(store, "open_shard_mmap", None))
+
+
+def supports_ranged_reads(store: object) -> bool:
+    """Whether ``store`` offers ``read_shard_range`` (pread / ranged GET)."""
+    return callable(getattr(store, "read_shard_range", None))

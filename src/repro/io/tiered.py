@@ -1,0 +1,552 @@
+"""Tiered checkpoint storage: a local fast tier with async drain to a remote tier.
+
+The paper frames checkpointing as a lazy multilevel pipeline — GPU -> pinned
+host -> node-local storage -> remote/parallel file system — but a single
+:class:`~repro.io.ShardStore` backend only models one level.
+:class:`TieredStore` composes two backends into that missing level pair:
+
+* the **fast tier** (e.g. a node-local :class:`~repro.io.FileStore`) absorbs
+  every write: shards, parallel shard writers, and the commit manifest all
+  land there, so training unblocks at local-disk speed;
+* the **slow tier** (e.g. an :class:`~repro.io.ObjectStore` standing in for
+  S3/the PFS) receives each committed checkpoint from a bounded background
+  **drain pipeline**, giving the durability of remote storage without its
+  latency on the training path.
+
+Each committed checkpoint moves through a per-checkpoint drain state machine::
+
+    LOCAL ──(drain worker picks it up)──> DRAINING ──(manifest lands)──> REPLICATED
+
+The drain copies every shard part first and publishes the manifest *last*, so
+the slow tier inherits the same commit invariant as every backend: a
+checkpoint is restorable from a tier if and only if its manifest exists
+there.  A crash mid-drain therefore leaves the slow tier uncommitted (torn
+parts, no manifest) while the fast tier still restores; on the next
+construction over the same backends the drain **resumes idempotently**,
+skipping parts whose slow-tier copy already matches.
+
+Tier residency is recorded in a small JSON **tier-index sidecar**
+(``tier-index.json`` next to the fast tier's checkpoint directories, when the
+fast backend is directory-backed) so operators and tests can see drain states
+without probing both tiers; the sidecar is a cache — on startup it is
+reconciled against the tiers themselves, which stay the source of truth.
+
+Once a checkpoint is REPLICATED its fast-tier copy becomes evictable:
+``keep_local_latest`` is the watermark of newest replicated checkpoints kept
+local for fast restarts; older replicated copies are deleted from the fast
+tier.  Restores go **nearest-tier-first** — reads (and mmaps) are served from
+the fast tier when the copy is present and transparently fall back to the
+slow tier after eviction or simulated local loss.  ``delete_checkpoint``
+operates **cross-tier** (and cancels/waits out an in-flight drain of the
+tag), so garbage collection never strands keys on either backend.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..config import DEFAULT_DRAIN_WORKERS, DEFAULT_KEEP_LOCAL_LATEST
+from ..exceptions import CheckpointError
+from ..logging_utils import get_logger
+from .filestore import MappedShard, WriteReceipt, publish_file
+from .store import supports_mmap, supports_ranged_reads
+
+logger = get_logger(__name__)
+
+#: Chunk size used when streaming a shard from the fast to the slow tier.
+_DRAIN_CHUNK_BYTES = 32 * 1024 * 1024
+
+#: File name of the tier-index sidecar inside the fast tier's root.
+TIER_INDEX_NAME = "tier-index.json"
+
+
+class DrainState(str, enum.Enum):
+    """Where one committed checkpoint sits in the drain pipeline."""
+
+    #: Committed on the fast tier only; waiting for (or retrying) its drain.
+    LOCAL = "local"
+    #: A drain worker is copying it to the slow tier right now.
+    DRAINING = "draining"
+    #: Fully present (manifest included) on the slow tier.
+    REPLICATED = "replicated"
+
+
+@dataclass
+class _DrainJob:
+    """Book-keeping of one checkpoint's journey through the drain pipeline."""
+
+    tag: str
+    sequence: int
+    state: DrainState = DrainState.LOCAL
+    #: True once the fast tier still holds the checkpoint (cleared on evict).
+    local: bool = True
+    done: threading.Event = field(default_factory=threading.Event)
+    error: Optional[BaseException] = None
+    parts_copied: int = 0
+    parts_skipped: int = 0
+    bytes_copied: int = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serialisable sidecar entry."""
+        return {"state": self.state.value, "sequence": self.sequence,
+                "local": self.local}
+
+
+class _HeapShard(MappedShard):
+    """A :class:`MappedShard`-compatible wrapper over heap bytes.
+
+    The loader's zero-copy restore path expects ``open_shard_mmap`` to return
+    an object with ``.data``/``.close()``; when the fast tier's copy is gone
+    there is no file to map, so the slow tier's payload is handed back in
+    this wrapper and the restore degrades gracefully to a heap read.
+    """
+
+    def __init__(self, payload: bytes) -> None:  # noqa: D107 - see class doc
+        self.path = None
+        self.data = payload
+
+    def close(self) -> None:
+        self.data = b""
+
+
+class TieredStore:
+    """A :class:`~repro.io.ShardStore` over a fast tier and a slow tier.
+
+    See the module docstring for the write/drain/evict/restore life cycle.
+    ``fast`` and ``slow`` are any two stores from the registry;
+    ``drain_workers`` bounds the background copy parallelism and
+    ``keep_local_latest`` is the eviction watermark (``None`` disables
+    eviction entirely, keeping every replicated checkpoint local too).
+    """
+
+    def __init__(self, fast, slow, drain_workers: int = DEFAULT_DRAIN_WORKERS,
+                 keep_local_latest: Optional[int] = DEFAULT_KEEP_LOCAL_LATEST,
+                 fsync: bool = False) -> None:
+        if fast is slow:
+            raise CheckpointError("the fast and slow tiers must be distinct stores")
+        if drain_workers <= 0:
+            raise CheckpointError("drain_workers must be positive")
+        if keep_local_latest is not None and keep_local_latest < 0:
+            raise CheckpointError("keep_local_latest must be >= 0 (or None)")
+        self.fast = fast
+        self.slow = slow
+        self.drain_workers = int(drain_workers)
+        self.keep_local_latest = keep_local_latest
+        self.fsync = fsync
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, _DrainJob] = {}
+        self._deleted: set = set()
+        self._sequence = 0
+        self._drain_slots = threading.BoundedSemaphore(self.drain_workers)
+        self._threads: List[threading.Thread] = []
+        # -- metrics ---------------------------------------------------------
+        self.drains_completed = 0
+        self.drains_resumed = 0
+        self.drains_failed = 0
+        self.evicted_checkpoints = 0
+        self.bytes_drained = 0
+        self.drain_seconds_total = 0.0
+        self._index_path = self._sidecar_path()
+        self._recover()
+
+    # -- tier-index sidecar ---------------------------------------------------
+    def _sidecar_path(self) -> Optional[Path]:
+        root = getattr(self.fast, "root", None)
+        return Path(root) / TIER_INDEX_NAME if root is not None else None
+
+    def _persist_index(self) -> None:
+        """Atomically rewrite the sidecar (no-op for root-less fast tiers).
+
+        Best-effort: the sidecar is a *cache* — a persist failure must never
+        fail a save that is already committed on the fast tier (or a delete
+        that already removed both tiers), so I/O errors are logged and the
+        recovery scan rebuilds residency from the tiers themselves.
+        """
+        if self._index_path is None:
+            return
+        with self._lock:
+            entries = {tag: job.snapshot() for tag, job in self._jobs.items()}
+        payload = json.dumps(entries, indent=2, sort_keys=True).encode("utf-8")
+        directory = self._index_path.parent
+        tmp_name = None
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(prefix=f".{TIER_INDEX_NAME}.",
+                                            dir=str(directory))
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            publish_file(tmp_name, self._index_path, directory, fsync=self.fsync)
+        except OSError as exc:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            logger.warning("could not persist tier index %s: %s",
+                           self._index_path, exc)
+
+    def _recover(self) -> None:
+        """Rebuild residency from both tiers; resume interrupted drains.
+
+        The tiers are the source of truth (the sidecar is write-only cache
+        for operators): a tag committed on the slow tier is REPLICATED, and
+        a tag committed only on the fast tier needs (re)draining — exactly
+        the crash-mid-drain case, where parts may already sit on the slow
+        tier without a manifest.
+        """
+        fast_committed = set(self.fast.list_committed_checkpoints())
+        slow_committed = set(self.slow.list_committed_checkpoints())
+
+        def commit_order(tag: str):
+            # Manifest iteration, not lexicographic tag order (which would
+            # rank "iter-10" before "iter-9" and point the keep-local
+            # watermark at the wrong checkpoint after a lost sidecar).
+            try:
+                iteration = int(self.read_manifest(tag).get("iteration", -1))
+            except Exception:  # noqa: BLE001 - unreadable manifest: tag order
+                iteration = -1
+            return (iteration, tag)
+
+        ordered = sorted(fast_committed | slow_committed, key=commit_order)
+        to_drain = []
+        with self._lock:
+            for tag in ordered:
+                job = _DrainJob(tag=tag, sequence=self._next_sequence(),
+                                local=tag in fast_committed)
+                if tag in slow_committed:
+                    job.state = DrainState.REPLICATED
+                    job.done.set()
+                else:
+                    job.state = DrainState.LOCAL
+                    to_drain.append(tag)
+                self._jobs[tag] = job
+        for tag in to_drain:
+            self.drains_resumed += 1
+            self._spawn_drain(tag)
+        if self._jobs:
+            self._persist_index()
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    # -- writes (fast tier) ---------------------------------------------------
+    def write_shard(self, tag: str, shard_name: str,
+                    chunks: Iterable[Union[bytes, memoryview]]) -> WriteReceipt:
+        """Write one shard to the fast tier (the slow tier sees it at drain)."""
+        return self.fast.write_shard(tag, shard_name, chunks)
+
+    def create_shard_writer(self, tag: str, shard_name: str, total_bytes: int):
+        """Offset-addressed parallel writer on the fast tier."""
+        return self.fast.create_shard_writer(tag, shard_name, total_bytes)
+
+    def write_manifest(self, tag: str, manifest: Dict) -> object:
+        """Publish the manifest on the fast tier and enqueue the drain.
+
+        The fast-tier manifest is the training-visible commit point — the
+        call returns as soon as the local publish is durable; replication to
+        the slow tier proceeds in the background.
+        """
+        receipt = self.fast.write_manifest(tag, manifest)
+        with self._lock:
+            # A re-committed tag supersedes any earlier delete tombstone.
+            self._deleted.discard(tag)
+            self._jobs[tag] = _DrainJob(tag=tag, sequence=self._next_sequence())
+        self._persist_index()
+        self._spawn_drain(tag)
+        return receipt
+
+    # -- the drain pipeline ---------------------------------------------------
+    def _spawn_drain(self, tag: str) -> None:
+        thread = threading.Thread(target=self._drain, args=(tag,),
+                                  name=f"tiered-drain-{tag}", daemon=True)
+        with self._lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
+            self._threads.append(thread)
+            # Started under the lock so close() can never snapshot (and try
+            # to join) a published-but-unstarted thread.
+            thread.start()
+
+    def _drain(self, tag: str) -> None:
+        """Drain worker: copy parts, then the manifest, then maybe evict."""
+        with self._drain_slots:
+            with self._lock:
+                job = self._jobs.get(tag)
+                if job is None or tag in self._deleted:
+                    return
+                job.state = DrainState.DRAINING
+            try:
+                self._persist_index()
+                started = time.perf_counter()
+                manifest = self.fast.read_manifest(tag)
+                for record in manifest.get("shards", []):
+                    if tag in self._deleted:
+                        return  # the finally block marks the job done
+                    self._drain_part(tag, job, str(record["name"]),
+                                     int(record["nbytes"]))
+                if tag in self._deleted:
+                    return
+                # Manifest last: the slow tier commits only once every part
+                # of the tag is durable there — same invariant as a save.
+                self.slow.write_manifest(tag, manifest)
+                with self._lock:
+                    job.state = DrainState.REPLICATED
+                    self.drains_completed += 1
+                    self.drain_seconds_total += time.perf_counter() - started
+                self._persist_index()
+                # Eviction is best-effort housekeeping over *other*
+                # checkpoints: its own try so a failed fast-tier delete is
+                # logged and retried by a later drain, never poisoning the
+                # just-replicated checkpoint's state.
+                try:
+                    self._evict_replicated()
+                except Exception as exc:  # noqa: BLE001 - retried next drain
+                    logger.warning("fast-tier eviction failed: %s", exc)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via wait_drained
+                with self._lock:
+                    job.error = exc
+                    job.state = DrainState.LOCAL
+                    self.drains_failed += 1
+                logger.warning("drain of checkpoint %s failed: %s", tag, exc)
+            finally:
+                job.done.set()
+
+    def _drain_part(self, tag: str, job: _DrainJob, name: str, nbytes: int) -> None:
+        """Copy one shard part fast -> slow, skipping up-to-date copies.
+
+        The skip is what makes a resumed drain idempotent *and* cheap: parts
+        that already landed before a crash are recognised by size and not
+        re-uploaded.
+        """
+        try:
+            if self.slow.shard_size(tag, name) == nbytes:
+                with self._lock:
+                    job.parts_skipped += 1
+                return
+        except Exception:  # noqa: BLE001 - absent on the slow tier: copy it
+            pass
+        self.slow.write_shard(tag, name, self._part_chunks(tag, name, nbytes))
+        with self._lock:
+            job.parts_copied += 1
+            job.bytes_copied += nbytes
+            self.bytes_drained += nbytes
+
+    def _part_chunks(self, tag: str, name: str, nbytes: int):
+        """Stream one fast-tier shard in bounded chunks (ranged reads when
+        the fast tier supports them, one whole read otherwise)."""
+        if supports_ranged_reads(self.fast) and nbytes > _DRAIN_CHUNK_BYTES:
+            for offset in range(0, nbytes, _DRAIN_CHUNK_BYTES):
+                length = min(_DRAIN_CHUNK_BYTES, nbytes - offset)
+                yield self.fast.read_shard_range(tag, name, offset, length)
+        else:
+            yield self.fast.read_shard(tag, name)
+
+    def _evict_replicated(self) -> None:
+        """Drop fast-tier copies of replicated checkpoints past the watermark."""
+        if self.keep_local_latest is None:
+            return
+        with self._lock:
+            replicated = sorted(
+                (job for job in self._jobs.values()
+                 if job.state is DrainState.REPLICATED and job.local
+                 and job.tag not in self._deleted),
+                key=lambda job: job.sequence)
+            if self.keep_local_latest:
+                victims = replicated[:-self.keep_local_latest]
+            else:
+                victims = replicated
+            # Claiming under the lock keeps concurrent drain threads from
+            # double-evicting (and double-counting) the same checkpoint.
+            for job in victims:
+                job.local = False
+        evicted = 0
+        try:
+            for index, job in enumerate(victims):
+                try:
+                    self.fast.delete_checkpoint(job.tag)
+                except BaseException:
+                    with self._lock:
+                        # Unclaim everything not deleted: still resident, a
+                        # later drain's eviction pass will retry.
+                        for remaining in victims[index:]:
+                            remaining.local = True
+                    raise
+                evicted += 1
+                logger.info("evicted replicated checkpoint %s from the fast tier",
+                            job.tag)
+        finally:
+            if evicted:
+                with self._lock:
+                    self.evicted_checkpoints += evicted
+                self._persist_index()
+
+    # -- drain introspection --------------------------------------------------
+    def drain_status(self, tag: str) -> Optional[DrainState]:
+        """Drain state of one committed checkpoint (None if unknown)."""
+        with self._lock:
+            job = self._jobs.get(tag)
+            return job.state if job is not None else None
+
+    def wait_drained(self, tag: Optional[str] = None,
+                     timeout: Optional[float] = None) -> None:
+        """Block until ``tag`` (default: every known checkpoint) is drained.
+
+        Raises :class:`~repro.exceptions.CheckpointError` on a drain that
+        failed or timed out; a failed drain stays LOCAL and is retried by the
+        recovery scan of the next :class:`TieredStore` over the same tiers.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            jobs = ([self._jobs[tag]] if tag is not None and tag in self._jobs
+                    else list(self._jobs.values()) if tag is None else [])
+        if tag is not None and not jobs:
+            raise CheckpointError(f"no drain recorded for checkpoint {tag!r}")
+        for job in jobs:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not job.done.wait(remaining):
+                raise CheckpointError(
+                    f"timed out waiting for checkpoint {job.tag!r} to drain")
+            if job.error is not None:
+                raise CheckpointError(
+                    f"drain of checkpoint {job.tag!r} failed: {job.error}"
+                ) from job.error
+
+    def drain_metrics(self) -> Dict[str, float]:
+        """Operational counters of the drain pipeline (for reports/benches)."""
+        with self._lock:
+            pending = sum(1 for job in self._jobs.values()
+                          if job.state is not DrainState.REPLICATED)
+            return {
+                "drain_workers": self.drain_workers,
+                "drained_checkpoints": self.drains_completed,
+                "resumed_drains": self.drains_resumed,
+                "failed_drains": self.drains_failed,
+                "pending_drains": pending,
+                "bytes_drained": self.bytes_drained,
+                "evicted_checkpoints": self.evicted_checkpoints,
+                "drain_seconds_total": self.drain_seconds_total,
+            }
+
+    # -- reads (nearest tier first) -------------------------------------------
+    @property
+    def prefers_ranged_reads(self) -> bool:
+        """Whether restores should stream sub-shard ranges: inherited from
+        the slow tier (fast-tier hits are local either way, but a miss goes
+        to the remote side, where bounded ranges are what pays)."""
+        return bool(getattr(self.slow, "prefers_ranged_reads", False))
+
+    def read_shard(self, tag: str, shard_name: str) -> bytes:
+        """Read one shard from the nearest tier holding it."""
+        try:
+            return self.fast.read_shard(tag, shard_name)
+        except (CheckpointError, OSError):
+            return self.slow.read_shard(tag, shard_name)
+
+    def read_shard_range(self, tag: str, shard_name: str,
+                         offset: int, length: int) -> bytes:
+        """Ranged read from the nearest tier holding the shard."""
+        if supports_ranged_reads(self.fast):
+            try:
+                return self.fast.read_shard_range(tag, shard_name, offset, length)
+            except (CheckpointError, OSError):
+                pass
+        return self.slow.read_shard_range(tag, shard_name, offset, length)
+
+    def open_shard_mmap(self, tag: str, shard_name: str) -> MappedShard:
+        """Zero-copy map from the fast tier; heap fallback from the slow tier.
+
+        The nearest-tier contract of the mmap restore path: a locally
+        resident shard is mapped (true zero-copy), an evicted or lost one is
+        fetched from the slow tier and wrapped so the loader's buffer
+        handling is identical either way.
+        """
+        if supports_mmap(self.fast):
+            try:
+                return self.fast.open_shard_mmap(tag, shard_name)
+            except (CheckpointError, OSError):
+                pass
+        return _HeapShard(self.read_shard(tag, shard_name))
+
+    def read_manifest(self, tag: str) -> Dict:
+        """Read the commit manifest from the nearest tier holding it."""
+        try:
+            return self.fast.read_manifest(tag)
+        except (CheckpointError, OSError):
+            return self.slow.read_manifest(tag)
+
+    def shard_size(self, tag: str, shard_name: str) -> int:
+        """Stored size of one shard, nearest tier first."""
+        try:
+            return self.fast.shard_size(tag, shard_name)
+        except Exception:  # noqa: BLE001 - FileStore raises FileNotFoundError here
+            return self.slow.shard_size(tag, shard_name)
+
+    # -- management (cross-tier) ------------------------------------------------
+    def list_checkpoints(self) -> List[str]:
+        """Tags present on either tier (committed or not), sorted."""
+        return sorted(set(self.fast.list_checkpoints())
+                      | set(self.slow.list_checkpoints()))
+
+    def list_committed_checkpoints(self) -> List[str]:
+        """Tags committed on either tier, sorted.
+
+        A checkpoint is restorable as soon as its fast-tier manifest exists
+        and stays restorable after eviction (the slow tier's manifest takes
+        over), so commit visibility is the union of the tiers.
+        """
+        return sorted(set(self.fast.list_committed_checkpoints())
+                      | set(self.slow.list_committed_checkpoints()))
+
+    def delete_checkpoint(self, tag: str) -> None:
+        """Remove ``tag`` from both tiers (cross-tier GC).
+
+        An in-flight drain of the tag is told to abort (it checks the
+        tombstone between parts) and waited out, so the delete cannot race a
+        late part/manifest PUT into resurrecting the checkpoint on the slow
+        tier.
+        """
+        with self._lock:
+            self._deleted.add(tag)
+            job = self._jobs.pop(tag, None)
+            # Only a drain that already claimed the job will set done; one
+            # that finds the job gone returns without touching the event.
+            claimed = (job is not None and job.state is DrainState.DRAINING
+                       and not job.done.is_set())
+        if claimed:
+            job.done.wait()
+        self.fast.delete_checkpoint(tag)
+        self.slow.delete_checkpoint(tag)
+        self._persist_index()
+
+    def total_bytes(self, tag: str) -> int:
+        """Shard bytes of one checkpoint, from the nearest tier holding it."""
+        nbytes = self.fast.total_bytes(tag)
+        return nbytes if nbytes else self.slow.total_bytes(tag)
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Join outstanding drain threads (drains are daemons; this is for
+        deterministic teardown in tests and at the end of a run)."""
+        if not wait:
+            return
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join()
+
+    def __enter__(self) -> "TieredStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=exc_type is None)

@@ -73,14 +73,87 @@ def test_cli_compare_real_engine_subset(capsys, tmp_path):
     assert "torchsnapshot" not in out
 
 
+def test_cli_train_tiered_store_reports_drain(capsys, tmp_path):
+    code = main(["train", "--engine", "datastates", "--iterations", "2",
+                 "--hidden-size", "32", "--workdir", str(tmp_path),
+                 "--store", "tiered", "--drain-workers", "1",
+                 "--keep-local-latest", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "drained" in out
+    assert "tiered://" in out
+    assert (tmp_path / "datastates" / "fast").is_dir()
+
+
 def test_cli_rejects_unknown_model():
     with pytest.raises(SystemExit):
         main(["simulate", "--model", "175B"])
 
 
-def test_cli_rejects_unknown_real_engine():
+def test_cli_rejects_unknown_real_engine(capsys):
     with pytest.raises(SystemExit):
         main(["train", "--engine", "nebula"])
+    err = capsys.readouterr().err
+    # Fail fast with the registry's list of valid names, not a deep KeyError.
+    assert "unknown checkpoint engine" in err and "datastates" in err
+
+
+def test_cli_rejects_unknown_sim_engine(capsys):
+    with pytest.raises(SystemExit):
+        main(["simulate", "--engine", "nebula"])
+    assert "unknown checkpoint engine" in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_store(capsys):
+    with pytest.raises(SystemExit):
+        main(["train", "--store", "tape-robot"])
+    err = capsys.readouterr().err
+    assert "unknown shard store" in err and "tiered" in err
+
+
+def test_cli_rejects_tiered_flags_without_tiered_store(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["train", "--iterations", "1", "--hidden-size", "32",
+              "--workdir", str(tmp_path), "--drain-workers", "2"])
+
+
+def test_cli_rejects_invalid_drain_knobs(capsys):
+    with pytest.raises(SystemExit):
+        main(["train", "--store", "tiered", "--drain-workers", "0"])
+    assert "positive integer" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["train", "--store", "tiered", "--keep-local-latest", "-2"])
+    assert "-1 to disable" in capsys.readouterr().err
+
+
+def test_cli_keep_local_latest_minus_one_disables_eviction(capsys, tmp_path):
+    code = main(["train", "--engine", "datastates", "--iterations", "2",
+                 "--hidden-size", "32", "--workdir", str(tmp_path),
+                 "--store", "tiered", "--keep-local-latest", "-1"])
+    assert code == 0
+    # Nothing evicted: both checkpoints keep their fast-tier copies.
+    fast_dirs = [p.name for p in (tmp_path / "datastates" / "fast").iterdir()
+                 if p.is_dir()]
+    assert sorted(fast_dirs) == ["ckpt-000001", "ckpt-000002"]
+
+
+def test_cli_accepts_custom_registered_engine(capsys, tmp_path):
+    """A register_real_engine() name must be selectable from the CLI (no
+    argparse choices= shadowing the live registry)."""
+    from repro.core import registry
+    from repro.core.sync_engine import SynchronousCheckpointEngine
+
+    class Custom(SynchronousCheckpointEngine):
+        name = "custom-cli"
+
+    registry.register_real_engine("custom-cli", Custom)
+    try:
+        code = main(["train", "--engine", "custom-cli", "--iterations", "1",
+                     "--hidden-size", "32", "--workdir", str(tmp_path)])
+        assert code == 0
+        assert "custom-cli" in capsys.readouterr().out
+    finally:
+        registry._REAL_REGISTRY.pop("custom-cli", None)
 
 
 def test_cli_requires_subcommand():

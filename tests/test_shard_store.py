@@ -15,8 +15,10 @@ from repro.io import (
     available_stores,
     canonical_store_name,
     create_store,
+    publish_file,
     register_store,
     supports_mmap,
+    supports_ranged_reads,
     supports_shard_writer,
 )
 from repro.restart import CheckpointLoader
@@ -71,6 +73,8 @@ def test_capability_detection(tmp_path):
     assert supports_shard_writer(file_store) and supports_mmap(file_store)
     # The object store has nothing to map but does stage parallel pwrites.
     assert supports_shard_writer(object_store) and not supports_mmap(object_store)
+    # Both backends serve sub-shard ranges (pread / ranged GET).
+    assert supports_ranged_reads(file_store) and supports_ranged_reads(object_store)
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +171,50 @@ def test_object_shard_writer_bounds_checked():
     writer.abort()
     with pytest.raises(CheckpointError):
         store.create_shard_writer("ckpt-1", "rank0", 0)
+
+
+# ---------------------------------------------------------------------------
+# publish_file — the one shared rename-then-fsync-parent publish helper
+# ---------------------------------------------------------------------------
+
+def test_publish_file_renames_and_optionally_fsyncs(tmp_path, monkeypatch):
+    """The helper behind every publish path: atomic rename, optional parent
+    fsync, and an error that tells a failed rename apart from a failed
+    directory sync (the entry is already visible in the latter case)."""
+    import os
+
+    source = tmp_path / ".staged"
+    target = tmp_path / "final"
+    source.write_bytes(b"payload")
+    recorder = _FsyncRecorder(monkeypatch)
+    publish_file(source, target, tmp_path, fsync=False)
+    assert target.read_bytes() == b"payload" and not source.exists()
+    assert recorder.directory_fsyncs == 0
+
+    source.write_bytes(b"payload-2")
+    publish_file(source, target, tmp_path, fsync=True)
+    assert target.read_bytes() == b"payload-2"
+    assert recorder.directory_fsyncs == 1
+
+    # A missing source fails the rename itself: no .published marker.
+    with pytest.raises(OSError) as excinfo:
+        publish_file(tmp_path / "missing", target, tmp_path, fsync=True)
+    assert not getattr(excinfo.value, "published", False)
+
+    # A directory-fsync failure happens after the rename: marked .published.
+    source.write_bytes(b"payload-3")
+    real_fsync = os.fsync
+
+    def failing_fsync(fd):
+        if stat.S_ISDIR(os.fstat(fd).st_mode):
+            raise OSError("simulated directory fsync failure")
+        return real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", failing_fsync)
+    with pytest.raises(OSError) as excinfo:
+        publish_file(source, target, tmp_path, fsync=True)
+    assert excinfo.value.published is True
+    assert target.read_bytes() == b"payload-3"  # the rename did happen
 
 
 # ---------------------------------------------------------------------------
