@@ -37,6 +37,31 @@ from repro.training import RealTrainer
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _cpu_model() -> str:
+    """Human-readable CPU model of the benchmark host.
+
+    Parsed from ``/proc/cpuinfo`` on Linux, falling back to
+    ``platform.processor()`` elsewhere; ``"unknown"`` when neither answers.
+    """
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    import platform
+
+    return platform.processor() or "unknown"
+
+
+def _host_info() -> dict:
+    """Host provenance stamped into every BENCH_*.json: timings measured on
+    different core counts are not comparable, and the regression gate
+    refuses to compare them (see ``check_regression.py``)."""
+    return {"cpu_count": os.cpu_count(), "cpu_model": _cpu_model()}
+
+
 def _make_state(megabytes: int, seed: int = 0):
     rng = np.random.default_rng(seed)
     chunk = megabytes * 1024 * 1024 // 8 // 4
@@ -157,6 +182,10 @@ def test_real_engines_sweep(benchmark, emit, tmp_path):
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     results = {
+        # Non-engine provenance key; every consumer of this JSON skips it.
+        "host": _host_info(),
+    }
+    results.update({
         row["engine"]: {
             "label": row["label"],
             "iterations": row["iterations"],
@@ -168,7 +197,7 @@ def test_real_engines_sweep(benchmark, emit, tmp_path):
             "compute_seconds": row["compute_seconds"],
         }
         for row in rows
-    }
+    })
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     json_path = RESULTS_DIR / "BENCH_real_engines.json"
@@ -437,6 +466,7 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
         return {
             "shard_bytes": nbytes,
             "cpu_count": os.cpu_count(),
+            "host": _host_info(),
             "writer_threads": DEFAULT_WRITER_THREADS,
             "shards_per_rank_sweep": shards_sweep,
             "restore_prefetch_sweep": prefetch_sweep,

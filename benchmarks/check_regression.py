@@ -18,6 +18,12 @@ Tiny absolute values are noise on shared CI runners, so a regression is only
 reported when the metric also moved by more than an absolute floor
 (``--min-ms`` for stall metrics, ``--min-seconds`` for timing metrics).
 
+Both files carry a ``host`` entry (core count + CPU model, stamped by the
+benchmarks). Timings measured on different core counts are not comparable —
+thread-pool stages scale with the host — so the gate refuses outright when
+the baseline and fresh core counts differ, and warns (but still compares)
+when the baseline predates host stamping.
+
 Usage (what the ``bench`` CI job runs)::
 
     cp -r benchmarks/results baseline          # before regenerating
@@ -47,6 +53,9 @@ DEFAULT_MIN_SECONDS = 0.02
 REAL_ENGINES = "BENCH_real_engines.json"
 IO_FASTPATH = "BENCH_io_fastpath.json"
 
+#: Provenance key stamped into every BENCH_*.json next to the metric rows.
+HOST_KEY = "host"
+
 
 def _load(path: Path) -> Dict:
     with path.open("r", encoding="utf-8") as handle:
@@ -63,6 +72,8 @@ def check_real_engines(baseline: Dict, fresh: Dict, threshold: float,
     """Regressions in blocked-ms/iteration, per engine."""
     problems = []
     for engine, base_row in sorted(baseline.items()):
+        if engine == HOST_KEY:
+            continue  # provenance, not an engine row
         fresh_row = fresh.get(engine)
         if fresh_row is None:
             problems.append(f"{REAL_ENGINES}: engine {engine!r} missing from fresh results")
@@ -118,6 +129,33 @@ def check_io_fastpath(baseline: Dict, fresh: Dict, threshold: float,
     return problems
 
 
+def check_host(name: str, baseline: Dict, fresh: Dict) -> List[str]:
+    """Refuse comparison across hosts with different core counts.
+
+    A baseline or fresh file without a ``host`` stamp (pre-stamping
+    baselines) cannot prove a mismatch: warn and let the comparison proceed.
+    """
+    base_host = baseline.get(HOST_KEY)
+    fresh_host = fresh.get(HOST_KEY)
+    if not base_host or not fresh_host:
+        missing = "baseline" if not base_host else "fresh results"
+        print(f"warning: {name}: {missing} carry no host info; comparing "
+              "anyway (regenerate the baseline to stamp it)", file=sys.stderr)
+        return []
+    base_cores = base_host.get("cpu_count")
+    fresh_cores = fresh_host.get("cpu_count")
+    if base_cores != fresh_cores:
+        return [
+            f"{name}: refusing to compare — baseline measured on "
+            f"{base_cores} cores ({base_host.get('cpu_model', 'unknown')}), "
+            f"fresh on {fresh_cores} cores "
+            f"({fresh_host.get('cpu_model', 'unknown')}); timings across "
+            "core counts are not comparable, regenerate the baseline on "
+            "this host"
+        ]
+    return []
+
+
 def compare_results(baseline_dir: Path, fresh_dir: Path,
                     threshold: float = DEFAULT_THRESHOLD,
                     min_ms: float = DEFAULT_MIN_MS,
@@ -136,7 +174,12 @@ def compare_results(baseline_dir: Path, fresh_dir: Path,
         if not fresh_path.exists():
             problems.append(f"{name}: fresh results were not produced")
             continue
-        problems.extend(check(_load(baseline_path), _load(fresh_path)))
+        baseline_data, fresh_data = _load(baseline_path), _load(fresh_path)
+        host_problems = check_host(name, baseline_data, fresh_data)
+        if host_problems:
+            problems.extend(host_problems)
+            continue  # cross-host metric deltas would be meaningless
+        problems.extend(check(baseline_data, fresh_data))
     return problems
 
 

@@ -24,6 +24,7 @@ from .metrics import (
     throughput_speedups,
 )
 from .real_compare import compare_real_engines, comparison_table_rows, run_real_engine
+from .replay import calibrate_engine, replay_config, replay_table_rows, replay_trace
 from .report import format_comparison, format_table, print_rows
 
 __all__ = [
@@ -52,4 +53,8 @@ __all__ = [
     "run_real_engine",
     "compare_real_engines",
     "comparison_table_rows",
+    "calibrate_engine",
+    "replay_config",
+    "replay_table_rows",
+    "replay_trace",
 ]

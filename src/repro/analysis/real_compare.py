@@ -62,6 +62,8 @@ def run_real_engine(
         # silently run a 2-worker drain.
         kwargs.setdefault("drain_workers", policy.drain_workers)
         kwargs.setdefault("keep_local_latest", policy.keep_local_latest)
+        kwargs.setdefault("drain_retries", policy.drain_retries)
+        kwargs.setdefault("drain_backoff_s", policy.drain_backoff_s)
     store = create_store(store_backend, root=Path(workdir) / name, **kwargs)
     engine = create_real_engine(name, store, policy=policy)
     with engine:

@@ -1,0 +1,253 @@
+"""Replay a failure trace against every engine × store configuration.
+
+``repro replay`` answers the fleet-operations question behind the paper's
+motivation: given the failure behaviour of a real (or MTBF-modelled) fleet,
+how much goodput does each checkpoint-engine / shard-store combination
+actually deliver, how much work is lost per failure, and how long does a
+restart take?
+
+The replay is analytic on top of the discrete-event simulator rather than a
+rank-per-coroutine simulation of the whole fleet — a multi-thousand-GPU,
+multi-day horizon would be intractable to simulate step by step, and the
+quantities that matter reduce to a handful of calibrated rates:
+
+1. **Calibration** — a short :func:`~repro.training.simulate_run` per engine
+   yields the pure iteration time, the checkpoint-visible stall per
+   checkpoint, and the checkpoint footprint per GPU.  This is where the
+   engines differ: the synchronous baseline pays the full write on every
+   checkpoint while DataStates hides almost all of it.
+2. **Failure walk** — the trace's events split the horizon into uptime
+   segments.  Work completed up to the last checkpoint before a failure is
+   preserved; the tail since that checkpoint is lost.  Restart latency is
+   the element's downtime plus the time to re-read the latest checkpoint
+   from the store, which is where the stores differ: the parallel file
+   system restores at the aggregate PFS bandwidth, the object store over
+   the nodes' NICs, and the tiered store from node-local NVMe (except the
+   replacement of a dead node, whose local tier is cold and must refetch
+   from the slow tier).
+3. **Report** — per (engine, store) row: goodput (useful training seconds /
+   horizon), lost work, restarts, and mean restart latency.
+
+Identical inputs (trace seed included) produce identical reports — the same
+determinism contract the fault-injection side keeps via
+:class:`~repro.io.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..config import PlatformSpec
+from ..core import ENGINE_NAMES, canonical_engine_name
+from ..exceptions import ConfigurationError
+from ..io import STORE_NAMES, canonical_store_name
+from ..simulator.failures import FailureTrace
+from ..training import simulate_run
+
+#: Calibration run length: enough checkpoints to average the stall over.
+CALIBRATION_ITERATIONS = 6
+
+
+def _expand_names(requested: Optional[Sequence[str]], canonical: Sequence[str],
+                  canonicalize) -> List[str]:
+    """Resolve a CLI-style name list; ``None``/``"all"`` mean every name."""
+    if not requested:
+        return list(canonical)
+    names: List[str] = []
+    for name in requested:
+        if name == "all":
+            for known in canonical:
+                if known not in names:
+                    names.append(known)
+            continue
+        resolved = canonicalize(name)
+        if resolved not in names:
+            names.append(resolved)
+    return names
+
+
+def calibrate_engine(engine_name: str, model_size: str = "13B",
+                     checkpoint_interval: int = 5,
+                     data_parallel: int = 1,
+                     platform: Optional[PlatformSpec] = None,
+                     iterations: int = CALIBRATION_ITERATIONS * 5,
+                     ) -> Dict[str, float]:
+    """Measure one engine's steady-state rates with a short simulated run.
+
+    Returns the pure iteration time, the effective (checkpoint-amortized)
+    iteration time, the per-GPU checkpoint footprint, and the wall-clock
+    checkpoint period — everything the analytic failure walk needs.  The
+    underlying simulation is deterministic, so so is the calibration.
+    """
+    interval = max(1, int(checkpoint_interval))
+    # Run enough iterations for CALIBRATION_ITERATIONS checkpoints.
+    iterations = max(iterations, interval * CALIBRATION_ITERATIONS)
+    result = simulate_run(
+        model_size, engine_name,
+        data_parallel=data_parallel,
+        iterations=iterations,
+        checkpoint_interval=interval,
+        platform=platform,
+    )
+    t_iter = result.training_iteration_seconds
+    blocked = result.per_checkpoint_blocked_seconds
+    stall_per_ckpt = sum(blocked) / len(blocked) if blocked else 0.0
+    effective_iter = t_iter + stall_per_ckpt / interval
+    return {
+        "engine": result.engine,
+        "iteration_seconds": t_iter,
+        "stall_seconds_per_checkpoint": stall_per_ckpt,
+        "effective_iteration_seconds": effective_iter,
+        "checkpoint_period_seconds": interval * effective_iter,
+        "checkpoint_bytes_per_gpu": result.checkpoint_bytes_per_rank,
+    }
+
+
+def _restore_seconds(store_name: str, failure_kind: str,
+                     platform: PlatformSpec, nodes: int,
+                     total_bytes: float) -> float:
+    """Time to re-read the latest committed checkpoint after a failure.
+
+    The per-store bandwidth model mirrors how each backend actually restores:
+
+    * ``file`` — every GPU streams its shard from the PFS; the fleet is
+      capped by the aggregate PFS bandwidth (§6's restore path).
+    * ``object`` — shards come over each node's NIC from the object store,
+      still bounded by the store's aggregate service rate.
+    * ``tiered`` — survivors restore from node-local NVMe; after a **node**
+      failure the replacement's local tier is cold, so its shards refetch
+      from the slow tier over its NIC, and the fleet waits for the slowest
+      (nearest-tier restore semantics of the tiered store).
+    """
+    gpus = nodes * platform.gpus_per_node
+    if store_name == "file":
+        bandwidth = min(platform.pfs_aggregate_bandwidth,
+                        gpus * platform.pfs_per_stream_bandwidth)
+        return platform.pfs_file_latency + total_bytes / bandwidth
+    if store_name == "object":
+        bandwidth = min(platform.pfs_aggregate_bandwidth,
+                        nodes * platform.nic_bandwidth)
+        return platform.pfs_file_latency + total_bytes / bandwidth
+    if store_name == "tiered":
+        local_seconds = total_bytes / (nodes * platform.nvme_write_bandwidth)
+        if failure_kind == "node":
+            per_node_bytes = total_bytes / nodes
+            refetch_bandwidth = min(
+                platform.nic_bandwidth,
+                platform.gpus_per_node * platform.pfs_per_stream_bandwidth)
+            refetch_seconds = per_node_bytes / refetch_bandwidth
+            return platform.pfs_file_latency + max(local_seconds, refetch_seconds)
+        return platform.pfs_file_latency + local_seconds
+    raise ConfigurationError(f"no restart model for store {store_name!r}")
+
+
+def replay_config(trace: FailureTrace, calibration: Dict[str, float],
+                  store_name: str, platform: PlatformSpec) -> Dict[str, object]:
+    """Walk one trace against one calibrated (engine, store) configuration.
+
+    The walk is a pure function of its inputs: uptime segments between
+    failures contribute ``floor(segment / period)`` preserved checkpoint
+    periods of work; the tail past the last checkpoint is lost; every
+    failure costs its downtime plus the store's restore time before the
+    next segment starts.  Failures striking while a restart is still in
+    progress are absorbed into it (the fleet is already down).
+    """
+    period = calibration["checkpoint_period_seconds"]
+    effective_iter = calibration["effective_iteration_seconds"]
+    progress_rate = calibration["iteration_seconds"] / effective_iter
+    total_bytes = calibration["checkpoint_bytes_per_gpu"] * trace.nodes * platform.gpus_per_node
+
+    horizon = trace.horizon_s
+    segment_start = 0.0
+    useful_seconds = 0.0
+    lost_seconds = 0.0
+    restarts = 0
+    absorbed = 0
+    restart_latency_total = 0.0
+    restore_latency_total = 0.0
+
+    for event in trace:
+        if event.time < segment_start:
+            # The fleet is still down/restarting from the previous failure.
+            absorbed += 1
+            continue
+        segment = event.time - segment_start
+        preserved = math.floor(segment / period) * period
+        useful_seconds += preserved * progress_rate
+        lost_seconds += (segment - preserved) * progress_rate
+        restore = _restore_seconds(store_name, event.kind, platform,
+                                   trace.nodes, total_bytes)
+        latency = event.downtime + restore
+        restarts += 1
+        restart_latency_total += latency
+        restore_latency_total += restore
+        segment_start = event.time + latency
+
+    if segment_start < horizon:
+        # Trailing segment: nothing fails after it, so all progress counts.
+        useful_seconds += (horizon - segment_start) * progress_rate
+
+    return {
+        "engine": calibration["engine"],
+        "store": store_name,
+        "failures": restarts + absorbed,
+        "restarts": restarts,
+        "absorbed_failures": absorbed,
+        "goodput": useful_seconds / horizon,
+        "useful_seconds": useful_seconds,
+        "lost_work_seconds": lost_seconds,
+        "restart_latency_seconds_total": restart_latency_total,
+        "restart_latency_seconds_mean": (restart_latency_total / restarts
+                                         if restarts else 0.0),
+        "restore_seconds_mean": (restore_latency_total / restarts
+                                 if restarts else 0.0),
+        "checkpoint_period_seconds": period,
+        "stall_seconds_per_checkpoint": calibration["stall_seconds_per_checkpoint"],
+    }
+
+
+def replay_trace(trace: FailureTrace,
+                 engines: Optional[Sequence[str]] = None,
+                 stores: Optional[Sequence[str]] = None,
+                 model_size: str = "13B",
+                 checkpoint_interval: int = 5,
+                 data_parallel: int = 1,
+                 platform: Optional[PlatformSpec] = None,
+                 ) -> List[Dict[str, object]]:
+    """Replay ``trace`` against every requested engine × store config.
+
+    Engines are calibrated once each (the calibration is store-independent:
+    it measures the training-visible stall, while the store model governs
+    the restart path) and the trace is then walked per store.  Rows come
+    back in engine-major order, ready for the CLI table.
+    """
+    platform = platform or PlatformSpec.polaris()
+    engine_names = _expand_names(engines, ENGINE_NAMES, canonical_engine_name)
+    store_names = _expand_names(stores, STORE_NAMES, canonical_store_name)
+    rows: List[Dict[str, object]] = []
+    for engine_name in engine_names:
+        calibration = calibrate_engine(
+            engine_name, model_size=model_size,
+            checkpoint_interval=checkpoint_interval,
+            data_parallel=data_parallel, platform=platform)
+        for store_name in store_names:
+            rows.append(replay_config(trace, calibration, store_name, platform))
+    return rows
+
+
+def replay_table_rows(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rounded, display-friendly version of :func:`replay_trace` rows."""
+    table = []
+    for row in rows:
+        table.append({
+            "engine": row["engine"],
+            "store": row["store"],
+            "restarts": row["restarts"],
+            "goodput": round(float(row["goodput"]), 4),
+            "lost_work_h": round(float(row["lost_work_seconds"]) / 3600.0, 3),
+            "restart_s": round(float(row["restart_latency_seconds_mean"]), 1),
+            "restore_s": round(float(row["restore_seconds_mean"]), 1),
+            "ckpt_period_s": round(float(row["checkpoint_period_seconds"]), 1),
+        })
+    return table

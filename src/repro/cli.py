@@ -7,11 +7,14 @@ Subcommands
 ``zoo``           print the Table 1 model zoo
 ``train``         train the real NumPy transformer under any checkpoint engine
 ``compare-real``  run the real trainer under all four engines; print blocked-time table
+``replay``        replay a failure trace against engine × store configs; print
+                  per-config goodput / lost-work / restart-latency table
 
 ``simulate``/``figure``/``zoo`` are thin wrappers over
 :mod:`repro.training.runtime` and :mod:`repro.analysis.figures`; ``train`` and
 ``compare-real`` drive the real-mode pipeline through the engine registry
-(:func:`repro.core.create_real_engine`).
+(:func:`repro.core.create_real_engine`); ``replay`` combines
+:class:`repro.simulator.FailureTrace` with :func:`repro.analysis.replay_trace`.
 """
 
 from __future__ import annotations
@@ -101,6 +104,36 @@ def _watermark(value: str) -> int:
     return number
 
 
+def _nonneg_int(value: str) -> int:
+    """argparse type: an integer >= 0 (retry counts)."""
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (got {value})")
+    return number
+
+
+def _nonneg_float(value: str) -> float:
+    """argparse type: a float >= 0 (backoff delays)."""
+    number = float(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (got {value})")
+    return number
+
+
+def _engine_or_all(value: str) -> str:
+    """argparse type: an engine name, or the literal ``all``."""
+    if value.strip().lower() == "all":
+        return "all"
+    return _engine_name(value)
+
+
+def _store_or_all(value: str) -> str:
+    """argparse type: a store name, or the literal ``all``."""
+    if value.strip().lower() == "all":
+        return "all"
+    return _store_name(value)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -163,6 +196,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="tiered only: newest replicated checkpoints "
                               "kept on the fast tier; older ones are evicted "
                               "(-1 disables eviction; default: policy default)")
+        cmd.add_argument("--drain-retries", type=_nonneg_int, default=None,
+                         help="tiered only: retries per drain on transient "
+                              "slow-tier failures, with exponential backoff "
+                              "(0 disables; default: policy default)")
+        cmd.add_argument("--drain-backoff", type=_nonneg_float, default=None,
+                         help="tiered only: base backoff seconds between "
+                              "drain retries (attempt k sleeps backoff*2^k; "
+                              "default: policy default)")
         cmd.add_argument("--prefetch-depth", type=int, default=None,
                          help="restore-side prefetch workers fetching+validating "
                               "shard parts ahead of deserialization "
@@ -182,6 +223,39 @@ def _build_parser() -> argparse.ArgumentParser:
                          default=None, metavar="|".join(ENGINE_NAMES),
                          help="subset of engines (default: all four)")
     add_real_args(compare)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a failure trace against engine × store configurations")
+    replay.add_argument("--trace", default="mtbf",
+                        help="'mtbf' to draw a trace from the MTBF model, or "
+                             "the path of a recorded trace JSON "
+                             "(FailureTrace.to_file format)")
+    replay.add_argument("--engines", nargs="*", type=_engine_or_all,
+                        default=None, metavar="all|" + "|".join(ENGINE_NAMES),
+                        help="engines to replay (default/'all': every engine)")
+    replay.add_argument("--stores", nargs="*", type=_store_or_all,
+                        default=None, metavar="all|" + "|".join(STORE_NAMES),
+                        help="stores to replay (default/'all': every store)")
+    replay.add_argument("--model", choices=MODEL_SIZES, default="13B")
+    replay.add_argument("--checkpoint-interval", type=_positive_int, default=5,
+                        help="iterations between checkpoints")
+    replay.add_argument("--data-parallel", type=_positive_int, default=1,
+                        help="data-parallel degree of the calibration run")
+    replay.add_argument("--nodes", type=_positive_int, default=512,
+                        help="mtbf traces: fleet size in nodes "
+                             "(4 GPUs/node on the Polaris platform)")
+    replay.add_argument("--hours", type=_nonneg_float, default=24.0,
+                        help="mtbf traces: trace horizon in hours")
+    replay.add_argument("--node-mtbf-hours", type=_nonneg_float, default=20_000.0,
+                        help="mtbf traces: per-node mean time between failures")
+    replay.add_argument("--link-mtbf-hours", type=_nonneg_float, default=50_000.0,
+                        help="mtbf traces: per-link mean time between failures")
+    replay.add_argument("--seed", type=int, default=0,
+                        help="mtbf traces: trace seed (same seed = same trace)")
+    replay.add_argument("--save-trace", default=None, metavar="PATH",
+                        help="also save the replayed trace as JSON (for "
+                             "replaying the identical trace later)")
     return parser
 
 
@@ -196,9 +270,12 @@ def _layout_policy(args: argparse.Namespace,
     prefetch_depth = getattr(args, "prefetch_depth", None)
     drain_workers = getattr(args, "drain_workers", None)
     keep_local_latest = getattr(args, "keep_local_latest", None)
+    drain_retries = getattr(args, "drain_retries", None)
+    drain_backoff = getattr(args, "drain_backoff", None)
     if (args.shards_per_rank == 1 and args.capture_streams == 1
             and prefetch_depth is None and drain_workers is None
-            and keep_local_latest is None):
+            and keep_local_latest is None and drain_retries is None
+            and drain_backoff is None):
         return None
     from .core.base_engine import DEFAULT_HOST_BUFFER_SIZE
 
@@ -211,6 +288,10 @@ def _layout_policy(args: argparse.Namespace,
         # -1 (never evict) is a store-level mode with no policy encoding;
         # the store kwargs below carry it.
         overrides["keep_local_latest"] = keep_local_latest
+    if drain_retries is not None:
+        overrides["drain_retries"] = drain_retries
+    if drain_backoff is not None:
+        overrides["drain_backoff_s"] = drain_backoff
     return CheckpointPolicy(
         shards_per_rank=args.shards_per_rank,
         capture_streams=args.capture_streams,
@@ -228,12 +309,15 @@ def _store_kwargs(args: argparse.Namespace) -> Optional[dict]:
     """
     tiered_flags = (args.fast_store != "file" or args.slow_store != "object"
                     or args.drain_workers is not None
-                    or args.keep_local_latest is not None)
+                    or args.keep_local_latest is not None
+                    or args.drain_retries is not None
+                    or args.drain_backoff is not None)
     if args.store != "tiered":
         if tiered_flags:
             raise SystemExit(
-                "--fast-store/--slow-store/--drain-workers/--keep-local-latest "
-                f"only apply to --store tiered (got --store {args.store})")
+                "--fast-store/--slow-store/--drain-workers/--keep-local-latest/"
+                "--drain-retries/--drain-backoff only apply to --store tiered "
+                f"(got --store {args.store})")
         return None
     policy_defaults = CheckpointPolicy()
     keep = (policy_defaults.keep_local_latest if args.keep_local_latest is None
@@ -245,6 +329,10 @@ def _store_kwargs(args: argparse.Namespace) -> Optional[dict]:
                           if args.drain_workers is None else args.drain_workers),
         # -1 means "never evict" (the store's keep_local_latest=None mode).
         "keep_local_latest": None if keep == -1 else keep,
+        "drain_retries": (policy_defaults.drain_retries
+                          if args.drain_retries is None else args.drain_retries),
+        "drain_backoff_s": (policy_defaults.drain_backoff_s
+                            if args.drain_backoff is None else args.drain_backoff),
     }
 
 
@@ -330,6 +418,36 @@ def _cmd_compare_real(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .analysis import replay_table_rows, replay_trace
+    from .simulator import FailureTrace
+
+    if args.trace == "mtbf":
+        trace = FailureTrace.from_mtbf(
+            nodes=args.nodes, horizon_hours=args.hours,
+            node_mtbf_hours=args.node_mtbf_hours,
+            link_mtbf_hours=args.link_mtbf_hours, seed=args.seed)
+    else:
+        trace = FailureTrace.from_file(args.trace)
+    if args.save_trace:
+        trace.to_file(args.save_trace)
+    counts = trace.counts()
+    mtbf = trace.mean_time_between_failures_s()
+    print(f"trace: {len(trace)} failures over {trace.horizon_s / 3600.0:.1f} h "
+          f"on {trace.nodes} nodes "
+          f"({counts['node']} node, {counts['link']} link"
+          + (f"; observed fleet MTBF {mtbf / 3600.0:.2f} h" if mtbf else "")
+          + ")")
+    rows = replay_trace(
+        trace, engines=args.engines, stores=args.stores,
+        model_size=args.model, checkpoint_interval=args.checkpoint_interval,
+        data_parallel=args.data_parallel)
+    print(format_table(
+        replay_table_rows(rows),
+        title="Failure-trace replay — goodput / lost work / restart latency"))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -343,6 +461,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_train(args)
     if args.command == "compare-real":
         return _cmd_compare_real(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -35,6 +35,16 @@ DEFAULT_DRAIN_WORKERS = 2
 #: replicated checkpoints keep their fast-tier copy for quick restarts.
 DEFAULT_KEEP_LOCAL_LATEST = 1
 
+#: Default number of drain retries after a transient slow-tier failure — a
+#: checkpoint only leaves DRAINING on success or once the retries are
+#: exhausted, shared by :class:`CheckpointPolicy` and
+#: :class:`repro.io.TieredStore`.
+DEFAULT_DRAIN_RETRIES = 2
+
+#: Default base delay (seconds) of the drain's exponential backoff: attempt
+#: ``k`` (0-based) sleeps ``drain_backoff_s * 2**k`` before retrying.
+DEFAULT_DRAIN_BACKOFF_S = 0.05
+
 
 @dataclass(frozen=True)
 class PlatformSpec:
@@ -245,6 +255,12 @@ class CheckpointPolicy:
     #: evicted so the fast tier never grows past the hot set.  ``0`` evicts
     #: every replicated checkpoint.
     keep_local_latest: int = DEFAULT_KEEP_LOCAL_LATEST
+    #: Tiered store: bounded retries of a drain that hit a transient
+    #: slow-tier failure (``0`` fails a drain on its first error).
+    drain_retries: int = DEFAULT_DRAIN_RETRIES
+    #: Tiered store: base delay of the drain's exponential backoff in
+    #: seconds (attempt ``k`` sleeps ``drain_backoff_s * 2**k``).
+    drain_backoff_s: float = DEFAULT_DRAIN_BACKOFF_S
 
     def __post_init__(self) -> None:
         if self.host_buffer_size <= 0:
@@ -263,6 +279,10 @@ class CheckpointPolicy:
             raise ConfigurationError("drain_workers must be positive")
         if self.keep_local_latest < 0:
             raise ConfigurationError("keep_local_latest must be >= 0")
+        if self.drain_retries < 0:
+            raise ConfigurationError("drain_retries must be >= 0")
+        if self.drain_backoff_s < 0:
+            raise ConfigurationError("drain_backoff_s must be >= 0")
 
     def with_overrides(self, **kwargs: object) -> "CheckpointPolicy":
         """Return a copy of this policy with selected fields replaced."""

@@ -267,7 +267,16 @@ class CheckpointEngine(abc.ABC):
                 checksum = zlib.crc32(chunk, checksum) & 0xFFFFFFFF
                 yield chunk
 
-        receipt = self.store.write_shard(tag, shard_name, chunks())
+        try:
+            receipt = self.store.write_shard(tag, shard_name, chunks())
+        except CheckpointError:
+            raise
+        except OSError as exc:
+            # Store-level I/O failures (full disk, dead OST, injected faults)
+            # surface as CheckpointError everywhere — the save contract is
+            # "committed or loud", never a raw errno escaping the engine.
+            raise CheckpointError(
+                f"shard write of {tag}/{shard_name} failed: {exc}") from exc
         return receipt.nbytes, checksum
 
     def _vote_and_wait_commit(self, tag: str, records: Sequence[ShardRecord],

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..config import CheckpointPolicy
+from ..exceptions import CheckpointError
 from ..io import ShardStore
 from ..serialization import checksum_bytes, serialize_part
 from ..tensor import flatten_state_dict
@@ -65,7 +66,15 @@ class SynchronousCheckpointEngine(CheckpointEngine):
         results = []
         for part in plan.parts:
             raw = serialize_part(part, plan.skeleton)
-            receipt = self.store.write_shard(tag, part.name, [raw])
+            try:
+                receipt = self.store.write_shard(tag, part.name, [raw])
+            except CheckpointError:
+                raise
+            except OSError as exc:
+                # Same loud-failure contract as the async engines' flush
+                # wrapping: a store-level I/O error is a CheckpointError.
+                raise CheckpointError(
+                    f"shard write of {tag}/{part.name} failed: {exc}") from exc
             record = self._part_record(plan, part, receipt.nbytes, checksum_bytes(raw))
             records.append(record)
             results.append(FlushResult(tag=tag, shard_name=part.name,

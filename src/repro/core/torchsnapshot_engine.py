@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..config import CheckpointPolicy
+from ..exceptions import CheckpointError
 from ..io import FlushWorkerPool, ShardStore, supports_shard_writer
 from ..serialization import encode_preamble, iter_part_payloads
 from ..tensor import flatten_state_dict
@@ -63,7 +64,15 @@ class TorchSnapshotCheckpointEngine(CheckpointEngine):
         plan = self.plan_shards(flatten_state_dict(state), shard)
 
         if supports_shard_writer(self.store):
-            records, results = self._write_parallel_set(tag, plan)
+            try:
+                records, results = self._write_parallel_set(tag, plan)
+            except CheckpointError:
+                raise
+            except OSError as exc:
+                # A pwrite/commit errno from the writer pool surfaces under
+                # the same loud-failure contract as the streaming path.
+                raise CheckpointError(
+                    f"parallel shard write of {tag}/{shard} failed: {exc}") from exc
         else:
             records, results = [], []
             for part in plan.parts:

@@ -3,6 +3,7 @@
 in-memory S3-like object store, the tiered fast/slow composition with its
 background drain pipeline, and the simulated NVMe/Lustre/tiered models."""
 
+from .faultstore import FaultPlan, FaultyStore, InjectedProcessKill
 from .filestore import (
     FileStore,
     MappedShard,
@@ -54,6 +55,9 @@ __all__ = [
     "publish_file",
     "ObjectStore",
     "ObjectShardWriter",
+    "FaultPlan",
+    "FaultyStore",
+    "InjectedProcessKill",
     "TieredStore",
     "DrainState",
     "FlushTask",

@@ -96,7 +96,9 @@ class ShardStore(Protocol):
         ...
 
 
-#: Canonical store names, default backend first.
+#: Canonical store names, default backend first.  The ``faulty`` chaos
+#: wrapper is registered but deliberately not canonical: conformance suites
+#: sweep STORE_NAMES and must not double-test through the injection wrapper.
 STORE_NAMES: List[str] = ["file", "object", "tiered"]
 
 #: Display labels used in report/bench output.
@@ -104,6 +106,7 @@ STORE_LABELS: Dict[str, str] = {
     "file": "FileStore (POSIX directory)",
     "object": "ObjectStore (in-memory, one part per key)",
     "tiered": "TieredStore (fast tier + async drain to slow tier)",
+    "faulty": "FaultyStore (seeded fault injection around another backend)",
 }
 
 _StoreFactory = Callable[..., ShardStore]
@@ -131,7 +134,8 @@ _UNSET = object()
 
 def _make_tiered_store(root=None, fsync: bool = False, fast_store: str = "file",
                        slow_store: str = "object", drain_workers=_UNSET,
-                       keep_local_latest=_UNSET, **kwargs) -> ShardStore:
+                       keep_local_latest=_UNSET, drain_retries=_UNSET,
+                       drain_backoff_s=_UNSET, **kwargs) -> ShardStore:
     """Compose a :class:`~repro.io.TieredStore` from two registry backends.
 
     The fast tier lives under ``root/fast`` (its sidecar tier-index next to
@@ -139,9 +143,17 @@ def _make_tiered_store(root=None, fsync: bool = False, fast_store: str = "file",
     directory-backed or a ``<root>-remote`` bucket label otherwise.  Any
     registered pair of names works, so e.g. ``fast_store="object"`` builds an
     all-in-memory tier pair for tests.  ``keep_local_latest=None`` passes
-    through as TieredStore's "never evict" mode.
+    through as TieredStore's "never evict" mode.  ``drain_retries`` /
+    ``drain_backoff_s`` configure the bounded retry-with-backoff applied to
+    transient slow-tier failures during the background drain.
     """
-    from .tiered import DEFAULT_DRAIN_WORKERS, DEFAULT_KEEP_LOCAL_LATEST, TieredStore
+    from .tiered import (
+        DEFAULT_DRAIN_BACKOFF_S,
+        DEFAULT_DRAIN_RETRIES,
+        DEFAULT_DRAIN_WORKERS,
+        DEFAULT_KEEP_LOCAL_LATEST,
+        TieredStore,
+    )
 
     if root is None:
         raise ConfigurationError("the 'tiered' store needs a root directory")
@@ -158,15 +170,40 @@ def _make_tiered_store(root=None, fsync: bool = False, fast_store: str = "file",
         else int(drain_workers),
         keep_local_latest=DEFAULT_KEEP_LOCAL_LATEST if keep_local_latest is _UNSET
         else keep_local_latest,
+        drain_retries=DEFAULT_DRAIN_RETRIES if drain_retries is _UNSET
+        else int(drain_retries),
+        drain_backoff_s=DEFAULT_DRAIN_BACKOFF_S if drain_backoff_s is _UNSET
+        else float(drain_backoff_s),
         fsync=fsync,
         **kwargs,
     )
+
+
+def _make_faulty_store(root=None, fsync: bool = False, inner: str = "file",
+                       plan=None, **kwargs) -> ShardStore:
+    """Wrap another registered backend in seeded fault injection.
+
+    ``inner`` names the wrapped backend (anything registered except
+    ``faulty`` itself); ``plan`` is a :class:`~repro.io.FaultPlan`, a dict of
+    its fields, or ``None`` for the inject-nothing default.  Remaining kwargs
+    go to the inner backend's factory.
+    """
+    from .faultstore import FaultPlan, FaultyStore
+
+    inner_name = canonical_store_name(inner)
+    if inner_name == "faulty":
+        raise ConfigurationError("the 'faulty' store cannot wrap itself")
+    if isinstance(plan, dict):
+        plan = FaultPlan(**plan)
+    return FaultyStore(create_store(inner_name, root=root, fsync=fsync, **kwargs),
+                       plan=plan)
 
 
 _STORE_REGISTRY: Dict[str, _StoreFactory] = {
     "file": _make_file_store,
     "object": _make_object_store,
     "tiered": _make_tiered_store,
+    "faulty": _make_faulty_store,
 }
 
 

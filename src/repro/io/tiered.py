@@ -53,7 +53,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
-from ..config import DEFAULT_DRAIN_WORKERS, DEFAULT_KEEP_LOCAL_LATEST
+from ..config import (
+    DEFAULT_DRAIN_BACKOFF_S,
+    DEFAULT_DRAIN_RETRIES,
+    DEFAULT_DRAIN_WORKERS,
+    DEFAULT_KEEP_LOCAL_LATEST,
+)
 from ..exceptions import CheckpointError
 from ..logging_utils import get_logger
 from .filestore import MappedShard, WriteReceipt, publish_file
@@ -129,6 +134,8 @@ class TieredStore:
 
     def __init__(self, fast, slow, drain_workers: int = DEFAULT_DRAIN_WORKERS,
                  keep_local_latest: Optional[int] = DEFAULT_KEEP_LOCAL_LATEST,
+                 drain_retries: int = DEFAULT_DRAIN_RETRIES,
+                 drain_backoff_s: float = DEFAULT_DRAIN_BACKOFF_S,
                  fsync: bool = False) -> None:
         if fast is slow:
             raise CheckpointError("the fast and slow tiers must be distinct stores")
@@ -136,10 +143,16 @@ class TieredStore:
             raise CheckpointError("drain_workers must be positive")
         if keep_local_latest is not None and keep_local_latest < 0:
             raise CheckpointError("keep_local_latest must be >= 0 (or None)")
+        if drain_retries < 0:
+            raise CheckpointError("drain_retries must be >= 0")
+        if drain_backoff_s < 0:
+            raise CheckpointError("drain_backoff_s must be >= 0")
         self.fast = fast
         self.slow = slow
         self.drain_workers = int(drain_workers)
         self.keep_local_latest = keep_local_latest
+        self.drain_retries = int(drain_retries)
+        self.drain_backoff_s = float(drain_backoff_s)
         self.fsync = fsync
         self._lock = threading.RLock()
         self._jobs: Dict[str, _DrainJob] = {}
@@ -151,6 +164,7 @@ class TieredStore:
         self.drains_completed = 0
         self.drains_resumed = 0
         self.drains_failed = 0
+        self.drains_retried = 0
         self.evicted_checkpoints = 0
         self.bytes_drained = 0
         self.drain_seconds_total = 0.0
@@ -279,7 +293,14 @@ class TieredStore:
             thread.start()
 
     def _drain(self, tag: str) -> None:
-        """Drain worker: copy parts, then the manifest, then maybe evict."""
+        """Drain worker: copy parts and the manifest, retrying transient
+        slow-tier failures with bounded exponential backoff.
+
+        The checkpoint stays DRAINING across retries — it only leaves the
+        state on success (REPLICATED) or once the retries are exhausted
+        (back to LOCAL, surfaced in ``failed_drains``/``wait_drained`` and
+        re-attempted by the next construction's recovery scan).
+        """
         with self._drain_slots:
             with self._lock:
                 job = self._jobs.get(tag)
@@ -288,39 +309,65 @@ class TieredStore:
                 job.state = DrainState.DRAINING
             try:
                 self._persist_index()
-                started = time.perf_counter()
-                manifest = self.fast.read_manifest(tag)
-                for record in manifest.get("shards", []):
-                    if tag in self._deleted:
-                        return  # the finally block marks the job done
-                    self._drain_part(tag, job, str(record["name"]),
-                                     int(record["nbytes"]))
-                if tag in self._deleted:
-                    return
-                # Manifest last: the slow tier commits only once every part
-                # of the tag is durable there — same invariant as a save.
-                self.slow.write_manifest(tag, manifest)
-                with self._lock:
-                    job.state = DrainState.REPLICATED
-                    self.drains_completed += 1
-                    self.drain_seconds_total += time.perf_counter() - started
-                self._persist_index()
-                # Eviction is best-effort housekeeping over *other*
-                # checkpoints: its own try so a failed fast-tier delete is
-                # logged and retried by a later drain, never poisoning the
-                # just-replicated checkpoint's state.
-                try:
-                    self._evict_replicated()
-                except Exception as exc:  # noqa: BLE001 - retried next drain
-                    logger.warning("fast-tier eviction failed: %s", exc)
+                for attempt in range(self.drain_retries + 1):
+                    try:
+                        self._drain_once(tag, job)
+                        break
+                    except BaseException as exc:  # noqa: BLE001 - retried below
+                        if attempt >= self.drain_retries or tag in self._deleted:
+                            raise
+                        with self._lock:
+                            self.drains_retried += 1
+                        delay = self.drain_backoff_s * (2 ** attempt)
+                        logger.warning(
+                            "drain of checkpoint %s failed (attempt %d/%d), "
+                            "retrying in %.3fs: %s", tag, attempt + 1,
+                            self.drain_retries + 1, delay, exc)
+                        if delay > 0:
+                            time.sleep(delay)
             except BaseException as exc:  # noqa: BLE001 - surfaced via wait_drained
                 with self._lock:
                     job.error = exc
                     job.state = DrainState.LOCAL
                     self.drains_failed += 1
-                logger.warning("drain of checkpoint %s failed: %s", tag, exc)
+                logger.warning("drain of checkpoint %s failed after %d attempt(s): %s",
+                               tag, self.drain_retries + 1, exc)
             finally:
                 job.done.set()
+
+    def _drain_once(self, tag: str, job: _DrainJob) -> None:
+        """One drain attempt: copy parts, then the manifest, then maybe evict.
+
+        Part copies are idempotent (up-to-date slow-tier copies are skipped
+        by size), so a retry after a mid-copy failure re-uploads only what is
+        missing.  Returns silently when a concurrent delete tombstoned the
+        tag (the caller's finally block marks the job done).
+        """
+        started = time.perf_counter()
+        manifest = self.fast.read_manifest(tag)
+        for record in manifest.get("shards", []):
+            if tag in self._deleted:
+                return
+            self._drain_part(tag, job, str(record["name"]),
+                             int(record["nbytes"]))
+        if tag in self._deleted:
+            return
+        # Manifest last: the slow tier commits only once every part
+        # of the tag is durable there — same invariant as a save.
+        self.slow.write_manifest(tag, manifest)
+        with self._lock:
+            job.state = DrainState.REPLICATED
+            self.drains_completed += 1
+            self.drain_seconds_total += time.perf_counter() - started
+        self._persist_index()
+        # Eviction is best-effort housekeeping over *other* checkpoints: its
+        # own try so a failed fast-tier delete is logged and retried by a
+        # later drain, never poisoning the just-replicated checkpoint's state
+        # (or triggering a pointless drain retry).
+        try:
+            self._evict_replicated()
+        except Exception as exc:  # noqa: BLE001 - retried next drain
+            logger.warning("fast-tier eviction failed: %s", exc)
 
     def _drain_part(self, tag: str, job: _DrainJob, name: str, nbytes: int) -> None:
         """Copy one shard part fast -> slow, skipping up-to-date copies.
@@ -429,9 +476,11 @@ class TieredStore:
                           if job.state is not DrainState.REPLICATED)
             return {
                 "drain_workers": self.drain_workers,
+                "drain_retries": self.drain_retries,
                 "drained_checkpoints": self.drains_completed,
                 "resumed_drains": self.drains_resumed,
                 "failed_drains": self.drains_failed,
+                "retried_drains": self.drains_retried,
                 "pending_drains": pending,
                 "bytes_drained": self.bytes_drained,
                 "evicted_checkpoints": self.evicted_checkpoints,

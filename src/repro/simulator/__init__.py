@@ -14,12 +14,16 @@ reproduced.  It provides:
 
 from .engine import Environment
 from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from .failures import FAILURE_KINDS, FailureEvent, FailureTrace
 from .resources import FairShareLink, Flow, Request, Resource
 from .sync import Barrier, SimHostBuffer, consensus_latency
 from .trace import Span, TraceRecorder
 
 __all__ = [
     "Environment",
+    "FAILURE_KINDS",
+    "FailureEvent",
+    "FailureTrace",
     "Event",
     "Timeout",
     "Process",

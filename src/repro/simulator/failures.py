@@ -1,0 +1,182 @@
+"""Failure traces for fleet-scale replay: MTBF-drawn and recorded.
+
+The paper motivates asynchronous checkpointing with the failure statistics of
+large GPU fleets — at multi-thousand-GPU scale the time between failures
+shrinks below the hour, so the cost of a checkpoint (and of the work lost
+since the last one) dominates end-to-end training time.  This module
+generates the failure side of that equation:
+
+* :meth:`FailureTrace.from_mtbf` draws per-node and per-link failures from
+  exponential inter-arrival times (the standard memoryless MTBF model),
+  deterministically from a seed, for a fleet of ``nodes`` nodes over a
+  ``horizon_hours`` window;
+* :meth:`FailureTrace.from_file` / :meth:`FailureTrace.to_file` load and
+  save recorded traces as JSON, so a real cluster's failure log (or a CI
+  chaos artifact) replays byte-identically.
+
+A trace is consumed by :func:`repro.analysis.replay.replay_trace`, which
+walks it against every engine × store configuration and reports goodput,
+lost work, and restart latency per config — the ``repro replay`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..exceptions import ConfigurationError
+
+#: Failure kinds a trace event may carry.
+FAILURE_KINDS = ("node", "link")
+
+#: Default downtime until a failed node's replacement joins, seconds.
+DEFAULT_NODE_DOWNTIME_S = 300.0
+
+#: Default downtime of a link flap, seconds (links recover much faster).
+DEFAULT_LINK_DOWNTIME_S = 60.0
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure in a fleet: what broke, when, and for how long."""
+
+    #: Seconds since the start of the run.
+    time: float
+    #: ``"node"`` (a host and its GPUs die) or ``"link"`` (network flap).
+    kind: str
+    #: Which element failed, e.g. ``"node-117"`` or ``"link-42"``.
+    target: str
+    #: Seconds until the failed element (or its replacement) is back.
+    downtime: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("FailureEvent.time must be >= 0")
+        if self.kind not in FAILURE_KINDS:
+            raise ConfigurationError(
+                f"FailureEvent.kind must be one of {FAILURE_KINDS}")
+        if self.downtime < 0:
+            raise ConfigurationError("FailureEvent.downtime must be >= 0")
+
+
+class FailureTrace:
+    """An ordered sequence of :class:`FailureEvent` over a fixed horizon."""
+
+    def __init__(self, events: Iterable[FailureEvent], horizon_s: float,
+                 nodes: int, metadata: Optional[Dict[str, object]] = None) -> None:
+        if horizon_s <= 0:
+            raise ConfigurationError("FailureTrace horizon_s must be positive")
+        if nodes <= 0:
+            raise ConfigurationError("FailureTrace nodes must be positive")
+        self.events: List[FailureEvent] = sorted(events, key=lambda e: e.time)
+        for event in self.events:
+            if event.time > horizon_s:
+                raise ConfigurationError(
+                    f"event at t={event.time}s lies past the horizon "
+                    f"({horizon_s}s)")
+        self.horizon_s = float(horizon_s)
+        self.nodes = int(nodes)
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- generation -----------------------------------------------------------
+    @classmethod
+    def from_mtbf(cls, nodes: int, horizon_hours: float = 24.0,
+                  node_mtbf_hours: float = 20_000.0,
+                  link_mtbf_hours: float = 50_000.0,
+                  node_downtime_s: float = DEFAULT_NODE_DOWNTIME_S,
+                  link_downtime_s: float = DEFAULT_LINK_DOWNTIME_S,
+                  seed: int = 0) -> "FailureTrace":
+        """Draw a fleet-scale trace from per-element MTBFs, seeded.
+
+        ``node_mtbf_hours``/``link_mtbf_hours`` are **per element**: a fleet
+        of ``nodes`` nodes fails at aggregate rate ``nodes / node_mtbf``
+        (the memoryless superposition of per-node Poisson processes), which
+        is what makes large fleets fail often even when individual hosts are
+        reliable — 2048 nodes at a 20k-hour MTBF see a node failure roughly
+        every 10 hours.  One NIC/link per node is assumed for the link
+        process.  Identical arguments (seed included) always produce an
+        identical trace.
+        """
+        if nodes <= 0:
+            raise ConfigurationError("nodes must be positive")
+        if horizon_hours <= 0:
+            raise ConfigurationError("horizon_hours must be positive")
+        if node_mtbf_hours <= 0 or link_mtbf_hours <= 0:
+            raise ConfigurationError("MTBF values must be positive")
+        rng = random.Random(seed)
+        horizon_s = horizon_hours * 3600.0
+        events: List[FailureEvent] = []
+
+        def draw(kind: str, per_element_mtbf_hours: float, downtime: float) -> None:
+            # Aggregate fleet rate: failures per second across all elements.
+            rate = nodes / (per_element_mtbf_hours * 3600.0)
+            t = rng.expovariate(rate)
+            while t < horizon_s:
+                target = f"{kind}-{rng.randrange(nodes)}"
+                events.append(FailureEvent(time=t, kind=kind, target=target,
+                                           downtime=downtime))
+                t += rng.expovariate(rate)
+
+        # Node failures first, then link failures: two independent streams
+        # drawn in a fixed order from one seeded generator.
+        draw("node", node_mtbf_hours, node_downtime_s)
+        draw("link", link_mtbf_hours, link_downtime_s)
+        metadata = {
+            "source": "mtbf",
+            "seed": seed,
+            "node_mtbf_hours": node_mtbf_hours,
+            "link_mtbf_hours": link_mtbf_hours,
+            "horizon_hours": horizon_hours,
+        }
+        return cls(events, horizon_s=horizon_s, nodes=nodes, metadata=metadata)
+
+    # -- persistence ----------------------------------------------------------
+    def to_file(self, path: Union[str, Path]) -> None:
+        """Save the trace as JSON (the recorded-trace interchange format)."""
+        payload = {
+            "horizon_s": self.horizon_s,
+            "nodes": self.nodes,
+            "metadata": self.metadata,
+            "events": [asdict(event) for event in self.events],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                              encoding="utf-8")
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FailureTrace":
+        """Load a recorded trace saved by :meth:`to_file`."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(f"cannot load failure trace {path}: {exc}") from exc
+        try:
+            events = [FailureEvent(**event) for event in payload["events"]]
+            return cls(events, horizon_s=float(payload["horizon_s"]),
+                       nodes=int(payload["nodes"]),
+                       metadata=payload.get("metadata"))
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"malformed failure trace {path}: {exc}") from exc
+
+    # -- queries --------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Events per kind (summary lines and reports)."""
+        result = {kind: 0 for kind in FAILURE_KINDS}
+        for event in self.events:
+            result[event.kind] += 1
+        return result
+
+    def mean_time_between_failures_s(self) -> Optional[float]:
+        """Observed fleet-level MTBF of the trace (None when empty)."""
+        if not self.events:
+            return None
+        return self.horizon_s / len(self.events)

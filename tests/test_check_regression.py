@@ -14,18 +14,24 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 import check_regression  # noqa: E402
 
 
-def _real_engines(ms_by_engine):
-    return {engine: {"blocked_ms_per_iteration": ms,
-                     "blocked_ms_per_iteration_mean": ms,
-                     "label": engine, "iterations": 8, "checkpoints": 8,
-                     "committed": 8, "blocked_seconds": ms * 8 / 1e3,
-                     "compute_seconds": 0.2}
-            for engine, ms in ms_by_engine.items()}
+HOST = {"cpu_count": 8, "cpu_model": "TestCPU v1"}
 
 
-def _io_fastpath(scale=1.0):
+def _real_engines(ms_by_engine, host=HOST):
+    results = {"host": host} if host else {}
+    results.update({engine: {"blocked_ms_per_iteration": ms,
+                             "blocked_ms_per_iteration_mean": ms,
+                             "label": engine, "iterations": 8, "checkpoints": 8,
+                             "committed": 8, "blocked_seconds": ms * 8 / 1e3,
+                             "compute_seconds": 0.2}
+                    for engine, ms in ms_by_engine.items()})
+    return results
+
+
+def _io_fastpath(scale=1.0, host=HOST):
     return {
         "shard_bytes": 100_000_000,
+        "host": host,
         "flush": {"streaming_seconds": 0.10 * scale, "streaming_mbps": 1000,
                   "parallel_seconds": 0.08 * scale, "parallel_mbps": 1250},
         "restore": {"read_seconds": 0.30 * scale, "mmap_seconds": 0.09 * scale},
@@ -133,3 +139,40 @@ def test_no_baseline_means_no_gate(tmp_path):
     (tmp_path / "base").mkdir()
     _write(tmp_path / "fresh", real_engines=_real_engines(BASE_MS))
     assert check_regression.compare_results(tmp_path / "base", tmp_path / "fresh") == []
+
+
+def test_differing_core_counts_refuse_comparison(tmp_path):
+    """Timings from a 4-core runner cannot gate a 64-core baseline: the gate
+    must refuse loudly instead of flagging a phantom regression."""
+    _write(tmp_path / "base", real_engines=_real_engines(
+        BASE_MS, host={"cpu_count": 64, "cpu_model": "BigIron"}))
+    # Identical timings — only the host differs — yet the gate still fails.
+    _write(tmp_path / "fresh", real_engines=_real_engines(
+        BASE_MS, host={"cpu_count": 4, "cpu_model": "TinyVM"}))
+    problems = check_regression.compare_results(tmp_path / "base", tmp_path / "fresh")
+    assert problems
+    assert any("refusing to compare" in p and "64" in p and "4" in p
+               for p in problems)
+    # And no per-engine comparison ran on the incomparable numbers.
+    assert not any("blocked_ms_per_iteration" in p for p in problems)
+    assert check_regression.main(["--baseline", str(tmp_path / "base"),
+                                  "--fresh", str(tmp_path / "fresh")]) == 1
+
+
+def test_baseline_without_host_info_warns_and_compares(tmp_path, capsys):
+    """Pre-stamping baselines can't prove a mismatch: warn, then gate as
+    usual — a real 2x regression is still caught."""
+    _write(tmp_path / "base", real_engines=_real_engines(BASE_MS, host=None))
+    doubled = {engine: ms * 2.0 for engine, ms in BASE_MS.items()}
+    _write(tmp_path / "fresh", real_engines=_real_engines(doubled))
+    problems = check_regression.compare_results(tmp_path / "base", tmp_path / "fresh")
+    assert any("blocked_ms_per_iteration" in p for p in problems)
+    assert "no host info" in capsys.readouterr().err
+
+
+def test_host_key_is_not_treated_as_an_engine(tmp_path):
+    """The provenance entry must not be compared as an engine row."""
+    _write(tmp_path / "base", real_engines=_real_engines(BASE_MS))
+    _write(tmp_path / "fresh", real_engines=_real_engines(BASE_MS))
+    problems = check_regression.compare_results(tmp_path / "base", tmp_path / "fresh")
+    assert problems == []

@@ -115,6 +115,12 @@ def test_cli_rejects_tiered_flags_without_tiered_store(tmp_path):
     with pytest.raises(SystemExit):
         main(["train", "--iterations", "1", "--hidden-size", "32",
               "--workdir", str(tmp_path), "--drain-workers", "2"])
+    with pytest.raises(SystemExit):
+        main(["train", "--iterations", "1", "--hidden-size", "32",
+              "--workdir", str(tmp_path), "--drain-retries", "3"])
+    with pytest.raises(SystemExit):
+        main(["train", "--iterations", "1", "--hidden-size", "32",
+              "--workdir", str(tmp_path), "--drain-backoff", "0.1"])
 
 
 def test_cli_rejects_invalid_drain_knobs(capsys):
@@ -124,6 +130,21 @@ def test_cli_rejects_invalid_drain_knobs(capsys):
     with pytest.raises(SystemExit):
         main(["train", "--store", "tiered", "--keep-local-latest", "-2"])
     assert "-1 to disable" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["train", "--store", "tiered", "--drain-retries", "-1"])
+    assert "must be >= 0" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["train", "--store", "tiered", "--drain-backoff", "-0.5"])
+    assert "must be >= 0" in capsys.readouterr().err
+
+
+def test_cli_drain_retry_flags_reach_the_store(capsys, tmp_path):
+    code = main(["train", "--engine", "datastates", "--iterations", "2",
+                 "--hidden-size", "32", "--workdir", str(tmp_path),
+                 "--store", "tiered", "--drain-retries", "4",
+                 "--drain-backoff", "0.02"])
+    assert code == 0
+    assert "drained" in capsys.readouterr().out
 
 
 def test_cli_keep_local_latest_minus_one_disables_eviction(capsys, tmp_path):

@@ -1,0 +1,215 @@
+"""Tests of the fleet-scale failure-trace replay: traces, model, CLI.
+
+Covers the :class:`~repro.simulator.FailureTrace` generator (seeded
+determinism, JSON round trip, validation), the
+:func:`~repro.analysis.replay_trace` analytic model (row shape, per-config
+differentiation, end-to-end determinism — the replay-side half of the
+seeded-determinism satellite), and the ``repro replay`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import calibrate_engine, replay_table_rows, replay_trace
+from repro.cli import main
+from repro.config import PlatformSpec
+from repro.core import ENGINE_NAMES
+from repro.exceptions import ConfigurationError
+from repro.io import STORE_NAMES
+from repro.simulator import FailureEvent, FailureTrace
+
+
+def _events(trace):
+    return [(e.time, e.kind, e.target, e.downtime) for e in trace]
+
+
+# ---------------------------------------------------------------------------
+# FailureTrace: generation, determinism, persistence
+# ---------------------------------------------------------------------------
+
+def test_mtbf_trace_is_deterministic_in_the_seed():
+    kwargs = dict(nodes=2048, horizon_hours=48.0, node_mtbf_hours=20_000.0,
+                  link_mtbf_hours=50_000.0)
+    first = FailureTrace.from_mtbf(seed=7, **kwargs)
+    second = FailureTrace.from_mtbf(seed=7, **kwargs)
+    assert _events(first) == _events(second)
+    assert len(first) > 0  # 2048 nodes over 48 h must see failures
+    other = FailureTrace.from_mtbf(seed=8, **kwargs)
+    assert _events(first) != _events(other)
+
+
+def test_mtbf_rate_scales_with_fleet_size():
+    """The memoryless model's point: bigger fleets fail more often."""
+    small = FailureTrace.from_mtbf(nodes=128, horizon_hours=200.0, seed=1)
+    large = FailureTrace.from_mtbf(nodes=4096, horizon_hours=200.0, seed=1)
+    assert len(large) > len(small)
+    assert large.mean_time_between_failures_s() < small.mean_time_between_failures_s()
+
+
+def test_trace_events_sorted_and_kinds_counted():
+    trace = FailureTrace(
+        [FailureEvent(time=50.0, kind="link", target="link-1", downtime=60.0),
+         FailureEvent(time=10.0, kind="node", target="node-0", downtime=300.0)],
+        horizon_s=100.0, nodes=4)
+    assert [e.time for e in trace] == [10.0, 50.0]
+    assert trace.counts() == {"node": 1, "link": 1}
+    assert trace.mean_time_between_failures_s() == 50.0
+
+
+def test_trace_validation():
+    event = FailureEvent(time=1.0, kind="node", target="node-0", downtime=1.0)
+    with pytest.raises(ConfigurationError):
+        FailureEvent(time=-1.0, kind="node", target="n", downtime=0.0)
+    with pytest.raises(ConfigurationError):
+        FailureEvent(time=0.0, kind="meteor", target="n", downtime=0.0)
+    with pytest.raises(ConfigurationError):
+        FailureTrace([event], horizon_s=0.5, nodes=4)  # event past horizon
+    with pytest.raises(ConfigurationError):
+        FailureTrace([event], horizon_s=10.0, nodes=0)
+    with pytest.raises(ConfigurationError):
+        FailureTrace.from_mtbf(nodes=16, node_mtbf_hours=-1.0)
+
+
+def test_trace_file_round_trip(tmp_path):
+    trace = FailureTrace.from_mtbf(nodes=512, horizon_hours=24.0, seed=3)
+    path = tmp_path / "trace.json"
+    trace.to_file(path)
+    loaded = FailureTrace.from_file(path)
+    assert _events(loaded) == _events(trace)
+    assert loaded.horizon_s == trace.horizon_s
+    assert loaded.nodes == trace.nodes
+    assert loaded.metadata == trace.metadata
+
+
+def test_trace_file_errors(tmp_path):
+    with pytest.raises(ConfigurationError):
+        FailureTrace.from_file(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"events": []}), encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        FailureTrace.from_file(bad)
+
+
+# ---------------------------------------------------------------------------
+# Replay model
+# ---------------------------------------------------------------------------
+
+def _small_trace(seed=5):
+    return FailureTrace.from_mtbf(nodes=1024, horizon_hours=24.0,
+                                  node_mtbf_hours=30_000.0, seed=seed)
+
+
+def test_replay_covers_every_engine_store_config():
+    rows = replay_trace(_small_trace(), engines=["all"], stores=["all"],
+                        model_size="7B", checkpoint_interval=5)
+    configs = {(row["engine"], row["store"]) for row in rows}
+    assert len(rows) == len(ENGINE_NAMES) * len(STORE_NAMES)
+    assert len(configs) == len(rows)
+    for row in rows:
+        assert 0.0 <= row["goodput"] <= 1.0
+        assert row["lost_work_seconds"] >= 0.0
+        assert row["restarts"] + row["absorbed_failures"] == row["failures"]
+        if row["restarts"]:
+            assert row["restart_latency_seconds_mean"] > 0.0
+
+
+def test_replay_is_deterministic():
+    """Satellite: same trace seed and config sweep, byte-identical report."""
+    first = replay_trace(_small_trace(seed=9), engines=["datastates"],
+                        stores=["all"], model_size="7B")
+    second = replay_trace(_small_trace(seed=9), engines=["datastates"],
+                         stores=["all"], model_size="7B")
+    assert first == second
+
+
+def test_replay_ranks_engines_like_the_paper():
+    """Less stall per checkpoint => shorter checkpoint period at equal
+    interval => less lost work; DataStates must beat the sync baseline."""
+    trace = _small_trace()
+    rows = {row["engine"]: row
+            for row in replay_trace(trace, engines=["deepspeed", "datastates"],
+                                    stores=["file"], model_size="7B",
+                                    checkpoint_interval=5)}
+    sync_row = rows["deepspeed-sync"]
+    datastates_row = rows["datastates-llm"]
+    assert datastates_row["goodput"] > sync_row["goodput"]
+    assert (datastates_row["checkpoint_period_seconds"]
+            < sync_row["checkpoint_period_seconds"])
+
+
+def test_replay_store_models_differ_on_node_failures():
+    """Node failures restore from NVMe under the tiered store: its mean
+    restore latency must undercut the PFS- and object-bound paths."""
+    trace = FailureTrace(
+        [FailureEvent(time=3600.0 * (index + 1), kind="node",
+                      target=f"node-{index}", downtime=300.0)
+         for index in range(4)],
+        horizon_s=24 * 3600.0, nodes=1024)
+    rows = {row["store"]: row
+            for row in replay_trace(trace, engines=["datastates"],
+                                    stores=["all"], model_size="7B")}
+    assert rows["tiered"]["restore_seconds_mean"] < rows["file"]["restore_seconds_mean"]
+    assert rows["tiered"]["goodput"] >= rows["file"]["goodput"]
+
+
+def test_replay_absorbs_failures_during_restart():
+    """A failure landing while the fleet is still restarting does not start
+    a second restart — it is absorbed into the ongoing one."""
+    trace = FailureTrace(
+        [FailureEvent(time=7200.0, kind="node", target="node-0", downtime=600.0),
+         FailureEvent(time=7200.5, kind="link", target="link-1", downtime=60.0)],
+        horizon_s=24 * 3600.0, nodes=512)
+    (row,) = replay_trace(trace, engines=["datastates"], stores=["file"],
+                          model_size="7B")
+    assert row["failures"] == 2
+    assert row["restarts"] == 1
+    assert row["absorbed_failures"] == 1
+
+
+def test_calibration_reports_positive_rates():
+    calibration = calibrate_engine("datastates", model_size="7B",
+                                   checkpoint_interval=5)
+    assert calibration["iteration_seconds"] > 0.0
+    assert calibration["effective_iteration_seconds"] >= calibration["iteration_seconds"]
+    assert calibration["checkpoint_period_seconds"] > 0.0
+    assert calibration["checkpoint_bytes_per_gpu"] > 0.0
+
+
+def test_replay_table_rows_shape():
+    rows = replay_trace(_small_trace(), engines=["datastates"], stores=["file"],
+                        model_size="7B")
+    (table_row,) = replay_table_rows(rows)
+    assert set(table_row) == {"engine", "store", "restarts", "goodput",
+                              "lost_work_h", "restart_s", "restore_s",
+                              "ckpt_period_s"}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_replay_mtbf_all_configs(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main(["replay", "--trace", "mtbf", "--engines", "all",
+                 "--stores", "all", "--model", "7B", "--nodes", "256",
+                 "--hours", "12", "--seed", "21",
+                 "--save-trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "goodput" in out
+    for engine in ENGINE_NAMES:
+        assert engine in out or any(engine in line for line in out.splitlines())
+    for store in STORE_NAMES:
+        assert store in out
+    assert trace_path.exists()
+
+
+def test_cli_replay_from_recorded_trace(capsys, tmp_path):
+    trace = FailureTrace.from_mtbf(nodes=128, horizon_hours=12.0, seed=2)
+    path = tmp_path / "recorded.json"
+    trace.to_file(path)
+    assert main(["replay", "--trace", str(path), "--engines", "datastates",
+                 "--stores", "tiered", "--model", "7B"]) == 0
+    out = capsys.readouterr().out
+    assert "tiered" in out
+    assert f"{len(trace)} failures" in out

@@ -542,3 +542,87 @@ def test_sim_tiered_storage_nearest_tier_reads():
     assert local_time == pytest.approx(1e9 / platform.nvme_write_bandwidth, rel=1e-6)
     assert remote_time == pytest.approx(1e9 / platform.pfs_per_stream_bandwidth,
                                         rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Drain retries: transient slow-tier failures are ridden out with backoff
+# ---------------------------------------------------------------------------
+
+def _flaky_slow(seed=0, **plan_kwargs):
+    from repro.io import FaultPlan, FaultyStore
+
+    return FaultyStore(ObjectStore(bucket="flaky"), FaultPlan(seed=seed, **plan_kwargs))
+
+
+def test_drain_rides_out_transient_slow_tier_failures(tmp_path):
+    """Every slow-tier op fails exactly once (a flaky NIC): the drain's
+    bounded retries absorb it — replication succeeds with no failed drain."""
+    slow = _flaky_slow(seed=1, write_error_prob=1.0, max_failures_per_op=1)
+    store = TieredStore(FileStore(tmp_path / "fast"), slow,
+                        keep_local_latest=None, drain_backoff_s=0.001)
+    _save(store, ["ckpt-000"])
+    store.wait_drained(timeout=30.0)
+    metrics = store.drain_metrics()
+    assert metrics["failed_drains"] == 0
+    assert metrics["retried_drains"] >= 1
+    assert metrics["drained_checkpoints"] == 1
+    assert store.drain_status("ckpt-000") is DrainState.REPLICATED
+    assert slow.inner.list_committed_checkpoints() == ["ckpt-000"]
+
+
+def test_drain_stays_draining_until_retries_resolve(tmp_path):
+    """Between attempts the checkpoint must stay DRAINING (satellite
+    requirement): it only leaves the state on success or exhausted retries."""
+    slow = _GatedSlowStore()
+    store = TieredStore(FileStore(tmp_path / "fast"), slow,
+                        keep_local_latest=None, drain_backoff_s=0.001)
+    _save(store, ["ckpt-000"])
+    assert store.drain_status("ckpt-000") in (DrainState.LOCAL, DrainState.DRAINING)
+    slow.gate.set()
+    store.wait_drained(timeout=30.0)
+    assert store.drain_status("ckpt-000") is DrainState.REPLICATED
+
+
+def test_exhausted_drain_retries_surface_in_counters_and_wait(tmp_path):
+    """Persistent slow-tier failure: retries exhaust, the drain fails loudly
+    (wait_drained raises), and the checkpoint stays restorable from the
+    fast tier."""
+    slow = _flaky_slow(seed=2, write_error_prob=1.0)  # persistent
+    store = TieredStore(FileStore(tmp_path / "fast"), slow,
+                        keep_local_latest=None, drain_retries=1,
+                        drain_backoff_s=0.001)
+    _save(store, ["ckpt-000"])
+    with pytest.raises(CheckpointError):
+        store.wait_drained(timeout=30.0)
+    metrics = store.drain_metrics()
+    assert metrics["failed_drains"] == 1
+    assert metrics["retried_drains"] == 1  # one retry granted, then exhausted
+    assert metrics["drained_checkpoints"] == 0
+    assert store.drain_status("ckpt-000") is DrainState.LOCAL
+    # The commit invariant holds: the fast tier still restores bit-exactly.
+    loaded = CheckpointLoader(store).load_all("ckpt-000")
+    np.testing.assert_array_equal(loaded[0]["model"]["w"], _state(0)["model"]["w"])
+
+
+def test_zero_drain_retries_fail_on_first_error(tmp_path):
+    slow = _flaky_slow(seed=3, write_error_prob=1.0, max_failures_per_op=1)
+    store = TieredStore(FileStore(tmp_path / "fast"), slow,
+                        keep_local_latest=None, drain_retries=0)
+    _save(store, ["ckpt-000"])
+    with pytest.raises(CheckpointError):
+        store.wait_drained(timeout=30.0)
+    metrics = store.drain_metrics()
+    assert metrics["failed_drains"] == 1
+    assert metrics["retried_drains"] == 0
+
+
+def test_drain_retry_knobs_validated_and_reported(tmp_path):
+    with pytest.raises(CheckpointError):
+        _tiered(tmp_path, drain_retries=-1)
+    with pytest.raises(CheckpointError):
+        _tiered(tmp_path, drain_backoff_s=-0.5)
+    store = create_store("tiered", root=tmp_path / "t", drain_retries=5,
+                         drain_backoff_s=0.25)
+    assert store.drain_retries == 5
+    assert store.drain_backoff_s == 0.25
+    assert store.drain_metrics()["drain_retries"] == 5
