@@ -371,6 +371,75 @@ def _measure_tiered_drain_sweep(bench_dir, state, workers_values, rounds=2):
     return sweep
 
 
+def _mutate_half(state, seed=23):
+    """Half the tensors regenerated (the 'optimizer moved, model frozen'
+    shape of a real incremental step); the other half byte-identical."""
+    rng = np.random.default_rng(seed)
+    mutated = dict(state)
+    for name in sorted(state)[len(state) // 2:]:
+        mutated[name] = rng.normal(size=state[name].size)
+    return mutated
+
+
+def _measure_dedup_incremental(bench_dir, state, rounds=2):
+    """Full-vs-incremental save economics of the content-addressed store.
+
+    A full checkpoint lands in a cold CAS pool (every chunk uploaded), then
+    half the tensors are mutated and saved incrementally
+    (``CheckpointPolicy.incremental``): the dirty scan records clean parts
+    by reference and the chunk pool dedups the unchanged prefix of dirty
+    parts, so the second save should move well under 60 % of the full
+    bytes.  Best-of-``rounds`` timings; byte counters are deterministic.
+    """
+    from repro.io import create_store
+
+    best = {"full_save_seconds": float("inf"),
+            "incremental_save_seconds": float("inf")}
+    mutated = _mutate_half(state)
+    for round_index in range(rounds):
+        store = create_store("cas", root=bench_dir / f"cas-{round_index}")
+        policy = CheckpointPolicy(
+            host_buffer_size=2 * sum(a.nbytes for a in state.values()),
+            incremental=True)
+        engine = DataStatesCheckpointEngine(store, policy=policy)
+        try:
+            start = time.perf_counter()
+            handle = engine.save(state, tag="full", iteration=0)
+            handle.wait_durable(timeout=300.0)
+            best["full_save_seconds"] = min(
+                best["full_save_seconds"], time.perf_counter() - start)
+            bytes_full = store.dedup_metrics()["bytes_written"]
+
+            start = time.perf_counter()
+            handle = engine.save(mutated, tag="incr", iteration=1)
+            handle.wait_durable(timeout=300.0)
+            best["incremental_save_seconds"] = min(
+                best["incremental_save_seconds"], time.perf_counter() - start)
+            engine.wait_all()
+            metrics = store.dedup_metrics()
+            bytes_incremental = metrics["bytes_written"] - bytes_full
+
+            if round_index == 0:
+                restored = engine.load("incr")
+                clean_name, dirty_name = sorted(state)[0], sorted(state)[-1]
+                np.testing.assert_array_equal(restored[clean_name],
+                                              mutated[clean_name])
+                np.testing.assert_array_equal(restored[dirty_name],
+                                              mutated[dirty_name])
+        finally:
+            engine.shutdown()
+        for tag in ("incr", "full"):
+            store.delete_checkpoint(tag)
+        store.sweep_unreferenced()
+    best.update({
+        "bytes_full": bytes_full,
+        "bytes_incremental": bytes_incremental,
+        "incremental_fraction": bytes_incremental / bytes_full,
+        "dedup_ratio": metrics["dedup_ratio"],
+    })
+    return best
+
+
 def _measure_restore(store, use_mmap, rounds):
     best = float("inf")
     for _ in range(rounds):
@@ -463,6 +532,10 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
             "file_durable_seconds": durable_file_bench,
             "workers": _measure_tiered_drain_sweep(bench_dir, state, (1, 2, 4)),
         }
+
+        # Content-addressed store: bytes moved by a full save into a cold
+        # chunk pool vs an incremental save with half the tensors mutated.
+        dedup_sweep = _measure_dedup_incremental(bench_dir, state)
         return {
             "shard_bytes": nbytes,
             "cpu_count": os.cpu_count(),
@@ -471,6 +544,7 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
             "shards_per_rank_sweep": shards_sweep,
             "restore_prefetch_sweep": prefetch_sweep,
             "tiered_drain_sweep": drain_sweep,
+            "dedup_incremental_sweep": dedup_sweep,
             "flush": flush,
             "restore": {
                 "read_seconds": read_s,
@@ -542,6 +616,18 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
             "MB/s": round(results["shard_bytes"] / row["commit_seconds"] / 1e6, 1),
             "seconds": f"{row['commit_seconds']:.4f} / {row['drained_seconds']:.4f}",
         })
+    dedup = results["dedup_incremental_sweep"]
+    rows.append({
+        "path": "cas full save (cold pool)",
+        "MB/s": round(dedup["bytes_full"] / dedup["full_save_seconds"] / 1e6, 1),
+        "seconds": round(dedup["full_save_seconds"], 4),
+    })
+    rows.append({
+        "path": f"cas incremental save ({dedup['incremental_fraction']:.0%} of full bytes)",
+        "MB/s": round(dedup["bytes_incremental"]
+                      / dedup["incremental_save_seconds"] / 1e6, 1),
+        "seconds": round(dedup["incremental_save_seconds"], 4),
+    })
     emit("io_fastpath", format_table(
         rows, title=f"I/O fast path vs legacy ({results['shard_bytes'] / 1e6:.0f} MB shard, "
                     f"{results['cpu_count']} CPUs) [{json_path.name}]"))
@@ -578,3 +664,10 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
         f"{best_commit:.4f}s vs {drain['file_durable_seconds']:.4f}s")
     # Every sweep point fully replicated its checkpoint to the slow tier.
     assert all(row["bytes_drained"] > 0 for row in drain["workers"].values())
+    # The incremental-save acceptance bar: with half the tensors mutated,
+    # the CAS store moves under 60 % of the full checkpoint's bytes.  This
+    # is a byte count, not a timing — it is deterministic and has no noise
+    # margin.
+    assert dedup["incremental_fraction"] < 0.6, (
+        f"incremental save moved {dedup['incremental_fraction']:.0%} of the "
+        f"full checkpoint's bytes (acceptance bar: <60%)")

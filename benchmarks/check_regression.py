@@ -7,12 +7,14 @@ more than the threshold (default 25%):
 * ``BENCH_real_engines.json`` — per-engine ``blocked_ms_per_iteration``
   (the training-visible checkpoint stall; higher is worse);
 * ``BENCH_io_fastpath.json`` — the tmpfs-backed, best-of-N-rounds timings:
-  the ``flush`` section, the ``shards_per_rank_sweep`` durable times, and
-  the ``tiered_drain_sweep`` fast-tier commit times (the training-visible
+  the ``flush`` section, the ``shards_per_rank_sweep`` durable times, the
+  ``tiered_drain_sweep`` fast-tier commit times (the training-visible
   latency of the tiered store; its background ``drained_seconds`` ride along
   ungated, like ``restore``/``save_stall`` — single-shot measurements whose
   throughput on shared CI VMs swings by 2-3x between runs of identical
-  code).
+  code), and the ``dedup_incremental_sweep`` full/incremental save times of
+  the content-addressed store (its byte counters are asserted inside the
+  bench itself — they are deterministic and need no noise margin).
 
 Tiny absolute values are noise on shared CI runners, so a regression is only
 reported when the metric also moved by more than an absolute floor
@@ -108,6 +110,10 @@ def _fastpath_metrics(data: Dict) -> Iterator[Tuple[str, float]]:
         if "commit_seconds" in row:
             yield (f"tiered_drain_sweep[{workers}].commit_seconds",
                    float(row["commit_seconds"]))
+    for key in ("full_save_seconds", "incremental_save_seconds"):
+        value = data.get("dedup_incremental_sweep", {}).get(key)
+        if value is not None:
+            yield f"dedup_incremental_sweep.{key}", float(value)
 
 
 def check_io_fastpath(baseline: Dict, fresh: Dict, threshold: float,

@@ -22,7 +22,11 @@ from ..training import RealTrainer
 
 
 def _store_location(store, store_backend: str) -> str:
-    """Display-friendly location of a store (directory, bucket, or tier pair)."""
+    """Display-friendly location of a store (directory, bucket, tier pair,
+    or namespaced chunk pool)."""
+    job_id = getattr(store, "job_id", None)
+    if job_id is not None and getattr(store, "inner", None) is not None:
+        return f"cas://{job_id}@{_store_location(store.inner, 'pool')}"
     fast = getattr(store, "fast", None)
     if fast is not None:
         return (f"tiered://{_store_location(fast, 'fast')} -> "
@@ -48,11 +52,13 @@ def run_real_engine(
     """Train under one engine and measure its per-iteration blocked time.
 
     ``store_backend`` selects the shard store by registry name (``file``,
-    ``object``, ``tiered``, ...); the engine pipeline is identical either
-    way.  ``store_kwargs`` are forwarded to :func:`repro.io.create_store`
-    (the tiered backend's composition knobs).  On a draining store the row
-    additionally reports the drain pipeline's counters, measured after
-    waiting the background replication out.
+    ``object``, ``tiered``, ``cas``, ...); the engine pipeline is identical
+    either way.  ``store_kwargs`` are forwarded to
+    :func:`repro.io.create_store` (the tiered backend's composition knobs,
+    the CAS backend's namespace/chunk-pool knobs).  On a draining store the
+    row additionally reports the drain pipeline's counters, measured after
+    waiting the background replication out; on a deduplicating store it
+    reports the chunk pool's bytes-written / dedup-ratio counters.
     """
     name = canonical_engine_name(engine_name)
     kwargs = dict(store_kwargs or {})
@@ -91,6 +97,11 @@ def run_real_engine(
         store.wait_drained()
         drain_metrics = dict(store.drain_metrics())
         drain_metrics["drain_wait_seconds"] = time.perf_counter() - start
+    # CAS stores: the chunk pool's dedup economics (bytes actually written
+    # vs logical checkpoint bytes) are the headline of the incremental path.
+    dedup_metrics = None
+    if callable(getattr(store, "dedup_metrics", None)):
+        dedup_metrics = dict(store.dedup_metrics())
     return {
         "engine": name,
         "label": ENGINE_LABELS.get(name, name),
@@ -107,6 +118,7 @@ def run_real_engine(
         "blocked_ms_per_iteration_mean": report.blocked_seconds_per_iteration * 1e3,
         "restore_seconds": restore_seconds,
         "drain": drain_metrics,
+        "dedup": dedup_metrics,
     }
 
 
@@ -138,6 +150,7 @@ def compare_real_engines(
 def comparison_table_rows(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
     """Rounded, display-friendly version of :func:`compare_real_engines` rows."""
     with_drain = any(row.get("drain") for row in rows)
+    with_dedup = any(row.get("dedup") for row in rows)
     table = []
     for row in rows:
         entry = {
@@ -158,5 +171,11 @@ def comparison_table_rows(rows: Sequence[Dict[str, object]]) -> List[Dict[str, o
             entry["drain_wait_ms"] = (
                 round(float(drain["drain_wait_seconds"]) * 1e3, 3)
                 if drain.get("drain_wait_seconds") is not None else None)
+        if with_dedup:
+            dedup = row.get("dedup") or {}
+            entry["bytes_written"] = dedup.get("bytes_written")
+            entry["dedup_ratio"] = (
+                round(float(dedup["dedup_ratio"]), 4)
+                if dedup.get("dedup_ratio") is not None else None)
         table.append(entry)
     return table

@@ -48,6 +48,10 @@ from ..training import simulate_run
 #: Calibration run length: enough checkpoints to average the stall over.
 CALIBRATION_ITERATIONS = 6
 
+#: Effective per-node SHA-256 throughput while a CAS restore hash-verifies
+#: every chunk on arrival (single-threaded sha256 on a server CPU, ~2 GB/s).
+CAS_VERIFY_BANDWIDTH = 2.0 * 1024**3
+
 
 def _expand_names(requested: Optional[Sequence[str]], canonical: Sequence[str],
                   canonicalize) -> List[str]:
@@ -119,6 +123,10 @@ def _restore_seconds(store_name: str, failure_kind: str,
       failure the replacement's local tier is cold, so its shards refetch
       from the slow tier over its NIC, and the fleet waits for the slowest
       (nearest-tier restore semantics of the tiered store).
+    * ``cas`` — chunks stream from the PFS-backed pool at the file-store
+      rate, then every node hash-verifies its chunks on the CPU before
+      reassembly (the content-addressed read contract), which adds a
+      compute-bound term on top of the I/O one.
     """
     gpus = nodes * platform.gpus_per_node
     if store_name == "file":
@@ -139,6 +147,12 @@ def _restore_seconds(store_name: str, failure_kind: str,
             refetch_seconds = per_node_bytes / refetch_bandwidth
             return platform.pfs_file_latency + max(local_seconds, refetch_seconds)
         return platform.pfs_file_latency + local_seconds
+    if store_name == "cas":
+        bandwidth = min(platform.pfs_aggregate_bandwidth,
+                        gpus * platform.pfs_per_stream_bandwidth)
+        verify_seconds = (total_bytes / nodes) / CAS_VERIFY_BANDWIDTH
+        return (platform.pfs_file_latency + total_bytes / bandwidth
+                + verify_seconds)
     raise ConfigurationError(f"no restart model for store {store_name!r}")
 
 
@@ -152,11 +166,26 @@ def replay_config(trace: FailureTrace, calibration: Dict[str, float],
     failure costs its downtime plus the store's restore time before the
     next segment starts.  Failures striking while a restart is still in
     progress are absorbed into it (the fleet is already down).
+
+    Tiered stores additionally model the **drain lag**: a checkpoint is only
+    as durable as the slow tier until its background drain completes, so a
+    node failure striking while the newest checkpoint is still DRAINING
+    (within ``drain_lag`` seconds of it) loses that checkpoint's fast-tier
+    copy with the node — work is preserved only up to the last REPLICATED
+    checkpoint, one period earlier.
     """
     period = calibration["checkpoint_period_seconds"]
     effective_iter = calibration["effective_iteration_seconds"]
     progress_rate = calibration["iteration_seconds"] / effective_iter
     total_bytes = calibration["checkpoint_bytes_per_gpu"] * trace.nodes * platform.gpus_per_node
+
+    drain_lag = 0.0
+    if store_name == "tiered":
+        # The drain streams the whole checkpoint to the slow tier over the
+        # fleet's NICs, bounded by the slow tier's aggregate service rate.
+        drain_bandwidth = min(trace.nodes * platform.nic_bandwidth,
+                              platform.pfs_aggregate_bandwidth)
+        drain_lag = total_bytes / drain_bandwidth
 
     horizon = trace.horizon_s
     segment_start = 0.0
@@ -164,6 +193,7 @@ def replay_config(trace: FailureTrace, calibration: Dict[str, float],
     lost_seconds = 0.0
     restarts = 0
     absorbed = 0
+    drain_lag_losses = 0
     restart_latency_total = 0.0
     restore_latency_total = 0.0
 
@@ -174,6 +204,13 @@ def replay_config(trace: FailureTrace, calibration: Dict[str, float],
             continue
         segment = event.time - segment_start
         preserved = math.floor(segment / period) * period
+        if (event.kind == "node" and preserved > 0.0
+                and segment - preserved < drain_lag):
+            # The newest checkpoint was still DRAINING when the node died:
+            # its fast-tier copy died with the node, so recovery falls back
+            # to the last checkpoint the slow tier had fully REPLICATED.
+            preserved -= period
+            drain_lag_losses += 1
         useful_seconds += preserved * progress_rate
         lost_seconds += (segment - preserved) * progress_rate
         restore = _restore_seconds(store_name, event.kind, platform,
@@ -194,6 +231,7 @@ def replay_config(trace: FailureTrace, calibration: Dict[str, float],
         "failures": restarts + absorbed,
         "restarts": restarts,
         "absorbed_failures": absorbed,
+        "drain_lag_losses": drain_lag_losses,
         "goodput": useful_seconds / horizon,
         "useful_seconds": useful_seconds,
         "lost_work_seconds": lost_seconds,

@@ -179,7 +179,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="shard store backend: 'file' (POSIX directory), "
                               "'object' (in-memory S3-like, one part per key), "
                               "'tiered' (fast tier + async drain to a slow "
-                              "tier), or any register_store() name")
+                              "tier), 'cas' (content-addressed chunks with "
+                              "namespaces + dedup), or any register_store() "
+                              "name")
         cmd.add_argument("--fast-store", type=_store_name, default="file",
                          metavar="NAME",
                          help="tiered only: backend of the fast tier "
@@ -204,6 +206,19 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="tiered only: base backoff seconds between "
                               "drain retries (attempt k sleeps backoff*2^k; "
                               "default: policy default)")
+        cmd.add_argument("--inner-store", type=_store_name, default="file",
+                         metavar="NAME",
+                         help="cas only: backend holding the shared chunk "
+                              "pool (default: file)")
+        cmd.add_argument("--namespace", default=None, metavar="JOB",
+                         help="cas only: job namespace scoping tags, "
+                              "manifests, and quotas over the shared chunk "
+                              "pool (default: 'default')")
+        cmd.add_argument("--incremental", action="store_true",
+                         help="cas only: incremental checkpoints — unchanged "
+                              "shards are recorded by reference to the "
+                              "previous committed checkpoint, only changed "
+                              "chunks are uploaded")
         cmd.add_argument("--prefetch-depth", type=int, default=None,
                          help="restore-side prefetch workers fetching+validating "
                               "shard parts ahead of deserialization "
@@ -272,16 +287,19 @@ def _layout_policy(args: argparse.Namespace,
     keep_local_latest = getattr(args, "keep_local_latest", None)
     drain_retries = getattr(args, "drain_retries", None)
     drain_backoff = getattr(args, "drain_backoff", None)
+    incremental = getattr(args, "incremental", False)
     if (args.shards_per_rank == 1 and args.capture_streams == 1
             and prefetch_depth is None and drain_workers is None
             and keep_local_latest is None and drain_retries is None
-            and drain_backoff is None):
+            and drain_backoff is None and not incremental):
         return None
     from .core.base_engine import DEFAULT_HOST_BUFFER_SIZE
 
     overrides = {}
     if prefetch_depth is not None:
         overrides["prefetch_depth"] = prefetch_depth
+    if incremental:
+        overrides["incremental"] = True
     if drain_workers is not None:
         overrides["drain_workers"] = drain_workers
     if keep_local_latest is not None and keep_local_latest >= 0:
@@ -301,10 +319,11 @@ def _layout_policy(args: argparse.Namespace,
 
 
 def _store_kwargs(args: argparse.Namespace) -> Optional[dict]:
-    """Tiered-store construction kwargs from the CLI flags.
+    """Store-composition kwargs from the CLI flags.
 
-    Only the ``tiered`` backend takes composition knobs; using them with a
-    single-level ``--store`` is almost certainly a mistake, so it fails fast
+    Only the ``tiered`` backend takes tier-composition knobs and only the
+    ``cas`` backend takes chunk-pool knobs; using either group with a
+    different ``--store`` is almost certainly a mistake, so it fails fast
     here rather than being silently ignored.
     """
     tiered_flags = (args.fast_store != "file" or args.slow_store != "object"
@@ -312,12 +331,23 @@ def _store_kwargs(args: argparse.Namespace) -> Optional[dict]:
                     or args.keep_local_latest is not None
                     or args.drain_retries is not None
                     or args.drain_backoff is not None)
+    cas_flags = (args.inner_store != "file" or args.namespace is not None
+                 or args.incremental)
+    if args.store != "tiered" and tiered_flags:
+        raise SystemExit(
+            "--fast-store/--slow-store/--drain-workers/--keep-local-latest/"
+            "--drain-retries/--drain-backoff only apply to --store tiered "
+            f"(got --store {args.store})")
+    if args.store != "cas" and cas_flags:
+        raise SystemExit(
+            "--inner-store/--namespace/--incremental only apply to "
+            f"--store cas (got --store {args.store})")
+    if args.store == "cas":
+        kwargs = {"inner": args.inner_store}
+        if args.namespace is not None:
+            kwargs["namespace"] = args.namespace
+        return kwargs
     if args.store != "tiered":
-        if tiered_flags:
-            raise SystemExit(
-                "--fast-store/--slow-store/--drain-workers/--keep-local-latest/"
-                "--drain-retries/--drain-backoff only apply to --store tiered "
-                f"(got --store {args.store})")
         return None
     policy_defaults = CheckpointPolicy()
     keep = (policy_defaults.keep_local_latest if args.keep_local_latest is None

@@ -261,6 +261,15 @@ class CheckpointPolicy:
     #: Tiered store: base delay of the drain's exponential backoff in
     #: seconds (attempt ``k`` sleeps ``drain_backoff_s * 2**k``).
     drain_backoff_s: float = DEFAULT_DRAIN_BACKOFF_S
+    #: Incremental checkpoints (CAS store): before writing, compare each
+    #: shard part's per-tensor CRC32s (and the folded whole-part checksum)
+    #: against the previous committed manifest and record unchanged parts as
+    #: chunk references instead of re-uploading them.  Only effective on a
+    #: store exposing ``record_shard_reference`` (see
+    #: :class:`repro.io.CASStore`); ignored elsewhere.  The dirty scan reads
+    #: the live state once at request time, so lazy-capture engines pay one
+    #: synchronous CRC pass per save in exchange for skipping clean parts.
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.host_buffer_size <= 0:

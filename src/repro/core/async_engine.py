@@ -33,7 +33,7 @@ from ..io import ShardStore
 from ..logging_utils import get_logger
 from ..serialization import ShardPlan, build_header
 from ..tensor import flatten_state_dict, tensor_payload_array
-from .base_engine import CheckpointEngine
+from .base_engine import CheckpointEngine, IncrementalPlan
 from .consolidation import TwoPhaseCommitCoordinator
 from .flush_pipeline import FlushResult
 
@@ -73,8 +73,10 @@ class AsyncCheckpointHandle:
         self._done.set()
 
 
-#: One queued flush: (handle, shard plan, per-global-tensor views, iteration).
-_FlushItem = Tuple[AsyncCheckpointHandle, ShardPlan, List[memoryview], int]
+#: One queued flush: (handle, shard plan, per-global-tensor views, iteration,
+#: incremental dirty-scan result or None).
+_FlushItem = Tuple[AsyncCheckpointHandle, ShardPlan, List[memoryview], int,
+                   Optional[IncrementalPlan]]
 
 
 class AsyncCheckpointEngine(CheckpointEngine):
@@ -115,6 +117,10 @@ class AsyncCheckpointEngine(CheckpointEngine):
         flattened = flatten_state_dict(state)
         header = build_header(flattened)
         plan = self.plan_shards(flattened, shard)
+        # Dirty scan against the previous committed checkpoint while the
+        # tensors are still live (save is blocking here anyway); clean parts
+        # skip serialization and upload entirely in the background flush.
+        inc = self._plan_incremental(plan)
 
         # Blocking D2H capture into a freshly allocated per-checkpoint buffer
         # (CheckFreq pays this allocation on every request; DataStates
@@ -135,7 +141,7 @@ class AsyncCheckpointEngine(CheckpointEngine):
             self._handles = [h for h in self._handles
                              if not h._done.is_set() or h.error is not None]
             self._handles.append(handle)
-        self._queue.put((handle, plan, views, iteration))
+        self._queue.put((handle, plan, views, iteration, inc))
         return handle
 
     def _flush_loop(self) -> None:
@@ -146,15 +152,24 @@ class AsyncCheckpointEngine(CheckpointEngine):
             self._flush(*item)
 
     def _flush(self, handle: AsyncCheckpointHandle, plan: ShardPlan,
-               views: List[memoryview], iteration: int) -> None:
+               views: List[memoryview], iteration: int,
+               inc: Optional[IncrementalPlan] = None) -> None:
         try:
             records = []
             results = []
             for part in plan.parts:
+                if inc is not None and part.name in inc.clean:
+                    record, result = self._reference_shard(handle.tag, plan,
+                                                           part, inc)
+                    records.append(record)
+                    results.append(result)
+                    continue
                 part_views = [views[index] for index in part.global_indices]
                 nbytes, checksum = self._write_streaming_shard(
                     handle.tag, part.name, part.header, plan.skeleton, part_views)
-                record = self._part_record(plan, part, nbytes, checksum)
+                record = self._part_record(
+                    plan, part, nbytes, checksum,
+                    tensor_checksums=inc.tensor_checksums(part.name) if inc else None)
                 records.append(record)
                 results.append(FlushResult(tag=handle.tag, shard_name=part.name,
                                            nbytes=nbytes, checksum=checksum,

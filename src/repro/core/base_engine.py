@@ -53,13 +53,17 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import CheckpointPolicy
 from ..exceptions import CheckpointError
-from ..io import ShardStore
+from ..io import ShardStore, supports_shard_reference
 from ..logging_utils import get_logger
 from ..serialization import (
+    CheckpointManifest,
     ShardHeader,
     ShardPart,
     ShardPlan,
     ShardRecord,
+    crc32_combine,
+    encode_preamble,
+    iter_part_payloads,
     iter_shard_chunks,
     plan_shards,
 )
@@ -93,6 +97,28 @@ class CompletedCheckpointHandle:
     def wait_durable(self, timeout: Optional[float] = None) -> FlushResult:
         """The shard was durably written inside ``save``."""
         return self.result
+
+
+@dataclass
+class IncrementalPlan:
+    """Dirty scan result of one save against the previous committed checkpoint.
+
+    ``clean`` maps part names whose bytes are provably identical to the base
+    checkpoint's part (same size, same folded whole-part CRC32, same
+    per-tensor CRCs when the base recorded them) to the base's manifest
+    record; engines record those parts by reference
+    (:meth:`CheckpointEngine._reference_shard`) instead of re-serialising
+    them.  ``checksums`` carries the freshly computed per-tensor CRC32s of
+    *every* part, so dirty parts record them in the manifest and the next
+    save can run the same comparison.
+    """
+
+    base_tag: str
+    clean: Dict[str, ShardRecord]
+    checksums: Dict[str, Tuple[int, ...]]
+
+    def tensor_checksums(self, part_name: str) -> Optional[Tuple[int, ...]]:
+        return self.checksums.get(part_name)
 
 
 class CheckpointEngine(abc.ABC):
@@ -135,6 +161,8 @@ class CheckpointEngine(abc.ABC):
         self._lock = threading.Lock()
         self._closed = False
         self._checkpoints_requested = 0
+        self._parts_referenced = 0
+        self._bytes_referenced = 0
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -196,6 +224,8 @@ class CheckpointEngine(abc.ABC):
             "engine": self.name,
             "rank": self.rank,
             "checkpoints_requested": self._checkpoints_requested,
+            "parts_referenced": self._parts_referenced,
+            "bytes_referenced": self._bytes_referenced,
         }
 
     # ---------------------------------------------------------------- helpers
@@ -229,6 +259,76 @@ class CheckpointEngine(abc.ABC):
             part_index=part.part_index if multi else None,
             num_parts=plan.num_parts if multi else None,
         )
+
+    def _plan_incremental(self, plan: ShardPlan) -> Optional[IncrementalPlan]:
+        """Dirty scan for an incremental save (``policy.incremental``).
+
+        Compares each part of ``plan`` against the latest committed
+        checkpoint: a part is *clean* — safely recordable by reference —
+        only when its exact byte stream would repeat, i.e. the serialized
+        size matches and the whole-part CRC32 (freshly-encoded preamble
+        folded with fresh per-tensor payload CRCs via ``crc32_combine``)
+        equals the base record's recorded checksum.  The preamble fold
+        matters: the skeleton embeds non-tensor leaves (iteration counters,
+        optimizer step), so per-tensor CRCs alone would reuse stale
+        metadata.  Returns ``None`` when incremental saves are off, the
+        store cannot record references, or there is no committed base.
+        """
+        if not self.policy.incremental or not supports_shard_reference(self.store):
+            return None
+        tags = self.store.list_committed_checkpoints()
+        if not tags:
+            return None
+        base_tag = tags[-1]
+        try:
+            manifest = CheckpointManifest.from_json(self.store.read_manifest(base_tag))
+        except (CheckpointError, OSError):
+            return None
+        base_records = {record.name: record
+                        for record in manifest.shards_of_rank(self.rank)}
+        clean: Dict[str, ShardRecord] = {}
+        checksums: Dict[str, Tuple[int, ...]] = {}
+        for part in plan.parts:
+            preamble = encode_preamble(part.header, plan.skeleton)
+            folded = zlib.crc32(preamble) & 0xFFFFFFFF
+            crcs = []
+            for entry, payload in iter_part_payloads(part):
+                crc = zlib.crc32(payload) & 0xFFFFFFFF
+                crcs.append(crc)
+                folded = crc32_combine(folded, crc, entry.nbytes)
+            checksums[part.name] = tuple(crcs)
+            base = base_records.get(part.name)
+            if (base is not None
+                    and base.checksum is not None
+                    and base.nbytes == len(preamble) + part.header.payload_bytes
+                    and base.checksum == folded
+                    and (base.tensor_checksums is None
+                         or tuple(base.tensor_checksums) == tuple(crcs))):
+                clean[part.name] = base
+        return IncrementalPlan(base_tag=base_tag, clean=clean, checksums=checksums)
+
+    def _reference_shard(self, tag: str, plan: ShardPlan, part: ShardPart,
+                         inc: IncrementalPlan) -> Tuple[ShardRecord, FlushResult]:
+        """Record one clean part as a reference to the base checkpoint's
+        identical part — zero payload bytes move; the store pins the base's
+        chunk list into the new checkpoint's pending manifest."""
+        base = inc.clean[part.name]
+        try:
+            nbytes = self.store.record_shard_reference(tag, part.name, inc.base_tag)
+        except CheckpointError:
+            raise
+        except OSError as exc:
+            raise CheckpointError(
+                f"recording shard reference {tag}/{part.name} -> "
+                f"{inc.base_tag} failed: {exc}") from exc
+        record = self._part_record(plan, part, nbytes, base.checksum,
+                                   tensor_checksums=inc.tensor_checksums(part.name))
+        result = FlushResult(tag=tag, shard_name=part.name, nbytes=nbytes,
+                             checksum=base.checksum, record=record)
+        with self._lock:
+            self._parts_referenced += 1
+            self._bytes_referenced += nbytes
+        return record, result
 
     @staticmethod
     def _combine_results(tag: str, base_name: str,

@@ -26,7 +26,7 @@ the model (the update phase).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..config import CheckpointPolicy
@@ -56,6 +56,10 @@ class CheckpointHandle:
     shard_name: str
     snapshots: List[SnapshotJob]
     flushes: List[ShardFlushJob]
+    #: Parts recorded by reference in an incremental save — already durable
+    #: (they reuse the base checkpoint's chunks), so they carry no snapshot
+    #: or flush job; their synthetic results join :meth:`wait_durable`.
+    referenced: List[FlushResult] = field(default_factory=list)
 
     @property
     def snapshot(self) -> SnapshotJob:
@@ -84,6 +88,7 @@ class CheckpointHandle:
         """
         results = [flush.wait(timeout=remaining)
                    for flush, remaining in deadline_iter(self.flushes, timeout)]
+        results += self.referenced
         return CheckpointEngine._combine_results(self.tag, self.shard_name, results)
 
     def _done_or_failed(self) -> bool:
@@ -164,22 +169,34 @@ class DataStatesCheckpointEngine(CheckpointEngine):
                 f"({self.pool.capacity} bytes); increase host_buffer_size"
             )
 
+        # Incremental dirty scan (CAS store only): clean parts are recorded by
+        # reference synchronously — they reuse already-durable chunks of the
+        # base checkpoint, so only dirty parts enter the capture/flush
+        # pipeline.  The scan reads the live tensors before save returns, so
+        # the CRC pass is consistent with what a capture would copy.
+        inc = self._plan_incremental(plan)
+        referenced_results: List[FlushResult] = []
+
         multi = not plan.is_single
-        snapshots = [
-            SnapshotJob(tag=tag, shard_name=part.name, header=part.header,
-                        skeleton=plan.skeleton, tensors=part.tensors,
-                        group=plan.base_name if multi else None,
-                        part_index=part.part_index if multi else None,
-                        num_parts=plan.num_parts if multi else None)
-            for part in plan.parts
-        ]
+        vote_lock = threading.Lock()
+        part_records: List[Optional[object]] = [None] * len(plan.parts)
+        dirty = [part for part in plan.parts
+                 if inc is None or part.name not in inc.clean]
+        remaining = [len(dirty)]
+        for index, part in enumerate(plan.parts):
+            if inc is not None and part.name in inc.clean:
+                record, result = self._reference_shard(tag, plan, part, inc)
+                part_records[index] = record
+                referenced_results.append(result)
 
         # Phase 4-5 completion callback: the vote is cast only once *every*
         # part of this rank's shard-set is durable (a rank votes exactly once
-        # per tag, with all of its records).
-        vote_lock = threading.Lock()
-        part_records: List[Optional[object]] = [None] * len(snapshots)
-        remaining = [len(snapshots)]
+        # per tag, with all of its records — referenced parts are prefilled).
+        def vote_now() -> None:
+            self.coordinator.vote(tag, self.rank, list(part_records),
+                                  iteration=iteration)
+            with self._lock:
+                self._voted_tags.add(tag)
 
         def on_durable_for(index: int):
             def on_durable(result: FlushResult) -> None:
@@ -188,23 +205,36 @@ class DataStatesCheckpointEngine(CheckpointEngine):
                     remaining[0] -= 1
                     last = remaining[0] == 0
                 if last:
-                    self.coordinator.vote(tag, self.rank, list(part_records),
-                                          iteration=iteration)
-                    with self._lock:
-                        self._voted_tags.add(tag)
+                    vote_now()
             return on_durable
 
-        # Phase 3: lazy captures, dealt round-robin across the copy streams;
-        # phase 4: one streaming/parallel flush per part, so capture and flush
-        # overlap per shard.
+        snapshots = []
         flush_jobs = []
-        for index, snapshot in enumerate(snapshots):
-            self.copy_streams[index % len(self.copy_streams)].submit(snapshot)
-            flush_jobs.append(
-                self.pipeline.submit(snapshot, on_durable=on_durable_for(index)))
+        if dirty:
+            # Phase 3: lazy captures, dealt round-robin across the copy
+            # streams; phase 4: one streaming/parallel flush per part, so
+            # capture and flush overlap per shard.
+            indices = {part.name: index
+                       for index, part in enumerate(plan.parts)}
+            for stream_slot, part in enumerate(dirty):
+                snapshot = SnapshotJob(
+                    tag=tag, shard_name=part.name, header=part.header,
+                    skeleton=plan.skeleton, tensors=part.tensors,
+                    group=plan.base_name if multi else None,
+                    part_index=part.part_index if multi else None,
+                    num_parts=plan.num_parts if multi else None)
+                snapshots.append(snapshot)
+                self.copy_streams[stream_slot % len(self.copy_streams)].submit(snapshot)
+                flush_jobs.append(self.pipeline.submit(
+                    snapshot, on_durable=on_durable_for(indices[part.name])))
+        else:
+            # Every part was clean: nothing to capture or flush, the
+            # checkpoint is durable by reference alone — vote immediately.
+            vote_now()
 
         handle = CheckpointHandle(tag=tag, shard_name=shard,
-                                  snapshots=snapshots, flushes=flush_jobs)
+                                  snapshots=snapshots, flushes=flush_jobs,
+                                  referenced=referenced_results)
         with self._lock:
             # Retired-and-successful handles are done with; failed ones are
             # kept so the next wait point surfaces their error.

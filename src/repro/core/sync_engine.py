@@ -62,9 +62,15 @@ class SynchronousCheckpointEngine(CheckpointEngine):
         self._count_request()
         shard = shard_name or self.default_shard_name()
         plan = self.plan_shards(flatten_state_dict(state), shard)
+        inc = self._plan_incremental(plan)
         records = []
         results = []
         for part in plan.parts:
+            if inc is not None and part.name in inc.clean:
+                record, result = self._reference_shard(tag, plan, part, inc)
+                records.append(record)
+                results.append(result)
+                continue
             raw = serialize_part(part, plan.skeleton)
             try:
                 receipt = self.store.write_shard(tag, part.name, [raw])
@@ -75,7 +81,9 @@ class SynchronousCheckpointEngine(CheckpointEngine):
                 # wrapping: a store-level I/O error is a CheckpointError.
                 raise CheckpointError(
                     f"shard write of {tag}/{part.name} failed: {exc}") from exc
-            record = self._part_record(plan, part, receipt.nbytes, checksum_bytes(raw))
+            record = self._part_record(
+                plan, part, receipt.nbytes, checksum_bytes(raw),
+                tensor_checksums=inc.tensor_checksums(part.name) if inc else None)
             records.append(record)
             results.append(FlushResult(tag=tag, shard_name=part.name,
                                        nbytes=receipt.nbytes,

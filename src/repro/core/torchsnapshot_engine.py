@@ -62,10 +62,14 @@ class TorchSnapshotCheckpointEngine(CheckpointEngine):
         self._count_request()
         shard = shard_name or self.default_shard_name()
         plan = self.plan_shards(flatten_state_dict(state), shard)
+        inc = self._plan_incremental(plan)
+        dirty = [part for part in plan.parts
+                 if inc is None or part.name not in inc.clean]
 
+        by_name = {}
         if supports_shard_writer(self.store):
             try:
-                records, results = self._write_parallel_set(tag, plan)
+                records, results = self._write_parallel_set(tag, plan, parts=dirty)
             except CheckpointError:
                 raise
             except OSError as exc:
@@ -73,34 +77,44 @@ class TorchSnapshotCheckpointEngine(CheckpointEngine):
                 # the same loud-failure contract as the streaming path.
                 raise CheckpointError(
                     f"parallel shard write of {tag}/{shard} failed: {exc}") from exc
+            for record, result in zip(records, results):
+                by_name[record.name] = (record, result)
         else:
-            records, results = [], []
-            for part in plan.parts:
+            for part in dirty:
                 views = [memoryview(payload)
                          for _entry, payload in iter_part_payloads(part)]
                 nbytes, checksum = self._write_streaming_shard(
                     tag, part.name, part.header, plan.skeleton, views)
-                record = self._part_record(plan, part, nbytes, checksum)
-                records.append(record)
-                results.append(FlushResult(tag=tag, shard_name=part.name,
-                                           nbytes=nbytes, checksum=checksum,
-                                           record=record))
+                record = self._part_record(
+                    plan, part, nbytes, checksum,
+                    tensor_checksums=inc.tensor_checksums(part.name) if inc else None)
+                by_name[part.name] = (record, FlushResult(
+                    tag=tag, shard_name=part.name, nbytes=nbytes,
+                    checksum=checksum, record=record))
+
+        for part in plan.parts:
+            if part.name not in by_name:
+                by_name[part.name] = self._reference_shard(tag, plan, part, inc)
+        records = [by_name[part.name][0] for part in plan.parts]
+        results = [by_name[part.name][1] for part in plan.parts]
 
         self._vote_and_wait_commit(tag, records, iteration, timeout=self.commit_timeout)
         result = self._combine_results(tag, shard, results)
         return CompletedCheckpointHandle(tag=tag, shard_name=shard, result=result)
 
     # ------------------------------------------------------------ write paths
-    def _write_parallel_set(self, tag: str, plan):
-        """Fan the whole shard-set out to the writer pool at once.
+    def _write_parallel_set(self, tag: str, plan, parts=None):
+        """Fan the (dirty subset of the) shard-set out to the writer pool.
 
         Every part's tensors are submitted before any wait, so the pool's
         chunked pwrites interleave across all files of the set — the
         multi-file analogue of the original single-shard parallel write.
+        ``parts`` restricts the write to a subset (incremental saves skip
+        clean parts); ``None`` writes the whole plan.
         """
         part_writes = []
         try:
-            for part in plan.parts:
+            for part in (plan.parts if parts is None else parts):
                 preamble = encode_preamble(part.header, plan.skeleton)
                 writer = self.store.create_shard_writer(
                     tag, part.name, len(preamble) + part.header.payload_bytes)

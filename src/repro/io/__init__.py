@@ -1,8 +1,10 @@
 """Storage backends: the pluggable shard-store protocol and its registry
 (:class:`ShardStore`, :func:`create_store`), the real POSIX file store, the
 in-memory S3-like object store, the tiered fast/slow composition with its
-background drain pipeline, and the simulated NVMe/Lustre/tiered models."""
+background drain pipeline, the content-addressed multi-tenant store, and the
+simulated NVMe/Lustre/tiered/CAS models."""
 
+from .cas import DEFAULT_CHUNK_BYTES, DEFAULT_NAMESPACE, CASStore
 from .faultstore import FaultPlan, FaultyStore, InjectedProcessKill
 from .filestore import (
     FileStore,
@@ -15,9 +17,11 @@ from .filestore import (
 from .flush_workers import FlushTask, FlushWorkerPool
 from .objectstore import ObjectShardWriter, ObjectStore
 from .sim_storage import (
+    SimContentAddressedStorage,
     SimNodeLocalStorage,
     SimParallelFileSystem,
     SimTieredStorage,
+    make_cas_storage,
     make_node_local_storage,
     make_parallel_fs,
     make_tiered_storage,
@@ -32,6 +36,7 @@ from .store import (
     register_store,
     supports_mmap,
     supports_ranged_reads,
+    supports_shard_reference,
     supports_shard_writer,
 )
 from .tiered import DrainState, TieredStore
@@ -46,7 +51,11 @@ __all__ = [
     "register_store",
     "supports_mmap",
     "supports_ranged_reads",
+    "supports_shard_reference",
     "supports_shard_writer",
+    "CASStore",
+    "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_NAMESPACE",
     "FileStore",
     "ShardWriter",
     "MappedShard",
@@ -65,7 +74,9 @@ __all__ = [
     "SimParallelFileSystem",
     "SimNodeLocalStorage",
     "SimTieredStorage",
+    "SimContentAddressedStorage",
     "make_parallel_fs",
     "make_node_local_storage",
     "make_tiered_storage",
+    "make_cas_storage",
 ]

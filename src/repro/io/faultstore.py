@@ -76,6 +76,13 @@ class FaultPlan:
     write_error_prob: float = 0.0
     #: Probability that a shard/manifest read raises ``OSError``.
     read_error_prob: float = 0.0
+    #: Probability that a shard read returns a torn (truncated) payload —
+    #: silent short reads, the restore-path mirror of torn writes.  Injected
+    #: on shard reads only: a torn manifest read would be a JSON parse error,
+    #: not the silent-data-damage case the restore path must catch.
+    torn_read_prob: float = 0.0
+    #: Fraction of the shard's bytes that survive a torn read.
+    torn_read_keep_fraction: float = 0.5
     #: Per-(operation, key) failure budget: after this many injected errors
     #: the operation succeeds (a transient fault).  ``None`` = persistent.
     max_failures_per_op: Optional[int] = None
@@ -88,13 +95,15 @@ class FaultPlan:
     kill_on_manifest: Optional[int] = None
 
     def __post_init__(self) -> None:
-        for name in ("torn_write_prob", "write_error_prob", "read_error_prob"):
+        for name in ("torn_write_prob", "write_error_prob", "read_error_prob",
+                     "torn_read_prob"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigurationError(f"FaultPlan.{name} must be in [0, 1]")
-        if not 0.0 <= self.torn_write_keep_fraction < 1.0:
-            raise ConfigurationError(
-                "FaultPlan.torn_write_keep_fraction must be in [0, 1)")
+        for name in ("torn_write_keep_fraction", "torn_read_keep_fraction"):
+            if not 0.0 <= getattr(self, name) < 1.0:
+                raise ConfigurationError(
+                    f"FaultPlan.{name} must be in [0, 1)")
         if self.max_failures_per_op is not None and self.max_failures_per_op <= 0:
             raise ConfigurationError(
                 "FaultPlan.max_failures_per_op must be positive (or None)")
@@ -180,6 +189,16 @@ class FaultyStore:
     def suspend(self) -> "_SuspendedFaults":
         """Context manager disabling injection (post-mortem inspection)."""
         return _SuspendedFaults(self)
+
+    def ops_so_far(self) -> int:
+        """Total fault-gated operations observed so far.
+
+        Ops are counted even while injection is suspended, so tests that arm
+        a fault plan mid-run (e.g. read faults after a clean save phase) use
+        this to position ``outage_start_op`` relative to "now".
+        """
+        with self._lock:
+            return self._op_index
 
     def fault_log(self) -> List[Dict[str, object]]:
         """Every injected fault so far, in injection order."""
@@ -278,15 +297,35 @@ class FaultyStore:
         return self._inner.write_manifest(tag, manifest)
 
     # -- reads ----------------------------------------------------------------
+    def _maybe_tear_read(self, op: str, key: str, occurrence: int,
+                         op_index: int, payload: bytes) -> bytes:
+        """Truncate a read payload per the torn-read roll (shard reads only)."""
+        plan = self.plan
+        if (not self._enabled or plan.torn_read_prob <= 0.0
+                or plan.roll("torn_read", key, occurrence) >= plan.torn_read_prob):
+            return payload
+        keep = int(len(payload) * plan.torn_read_keep_fraction)
+        with self._lock:
+            self._record(op, key, "torn_read", op_index,
+                         detail=f"kept {keep}/{len(payload)} bytes")
+        return payload[:keep]
+
     def read_shard(self, tag: str, shard_name: str) -> bytes:
-        self._gate("read_shard", f"{tag}/{shard_name}", self.plan.read_error_prob)
-        return self._inner.read_shard(tag, shard_name)
+        key = f"{tag}/{shard_name}"
+        op_index, occurrence = self._gate("read_shard", key,
+                                          self.plan.read_error_prob)
+        payload = self._inner.read_shard(tag, shard_name)
+        return self._maybe_tear_read("read_shard", key, occurrence, op_index,
+                                     payload)
 
     def _faulty_read_shard_range(self, tag: str, shard_name: str,
                                  offset: int, length: int) -> bytes:
-        self._gate("read_shard_range", f"{tag}/{shard_name}",
-                   self.plan.read_error_prob)
-        return self._inner.read_shard_range(tag, shard_name, offset, length)
+        key = f"{tag}/{shard_name}"
+        op_index, occurrence = self._gate("read_shard_range", key,
+                                          self.plan.read_error_prob)
+        payload = self._inner.read_shard_range(tag, shard_name, offset, length)
+        return self._maybe_tear_read("read_shard_range", key, occurrence,
+                                     op_index, payload)
 
     def read_manifest(self, tag: str) -> Dict:
         self._gate("read_manifest", tag, self.plan.read_error_prob)

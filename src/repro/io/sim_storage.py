@@ -149,6 +149,93 @@ class SimTieredStorage:
                 event.succeed(self.metrics())
 
 
+#: Default chunk-hashing (and restore-verify) throughput of the simulated
+#: content-addressed layer — one CPU core streaming SHA-256.
+DEFAULT_CAS_HASH_BANDWIDTH = 2.0 * 1024**3
+
+
+@dataclass
+class SimContentAddressedStorage:
+    """Dedup model of the content-addressed store over any backing storage.
+
+    The simulated mirror of :class:`~repro.io.CASStore`: every checkpoint's
+    bytes are chunked and hashed (a CPU-bound pass at
+    ``hash_bandwidth``), and ``dedup_fraction`` of them is already resident
+    in the shared chunk pool — only the changed remainder is physically
+    written to the backing model.  ``dedup_fraction=0`` models a cold pool
+    (first full checkpoint); values near the measured real-engine dedup
+    ratio model steady-state incremental checkpoints.  Restores read the
+    full logical bytes back (every chunk must be reassembled) and pay the
+    same per-byte verify pass the real store's hash check costs.
+    """
+
+    env: Environment
+    backing: object  # SimTieredStorage, SimParallelFileSystem, or NVMe model
+    dedup_fraction: float = 0.0
+    hash_bandwidth: float = DEFAULT_CAS_HASH_BANDWIDTH
+    bytes_logical: float = 0.0
+    bytes_written: float = 0.0
+    bytes_deduped: float = 0.0
+
+    def __post_init__(self) -> None:
+        from ..exceptions import ConfigurationError
+
+        if not 0.0 <= self.dedup_fraction <= 1.0:
+            raise ConfigurationError(
+                "SimContentAddressedStorage.dedup_fraction must be in [0, 1]")
+        if self.hash_bandwidth <= 0:
+            raise ConfigurationError(
+                "SimContentAddressedStorage.hash_bandwidth must be positive")
+
+    def write(self, nbytes: float, tag: Optional[str] = None) -> Event:
+        """Write ``nbytes`` logical; only the non-deduped remainder hits the
+        backing tier.  The returned event fires once the hash pass and the
+        physical write both complete."""
+        physical = nbytes * (1.0 - self.dedup_fraction)
+        self.bytes_logical += nbytes
+        self.bytes_written += physical
+        self.bytes_deduped += nbytes - physical
+
+        def run():
+            if nbytes > 0:
+                yield self.env.timeout(nbytes / self.hash_bandwidth)
+            if physical > 0:
+                yield self.backing.write(physical, tag=tag or "cas-write")
+
+        return self.env.process(run(), name=tag or "cas-write")
+
+    def read(self, nbytes: float, tag: Optional[str] = None, **kwargs) -> Event:
+        """Restore ``nbytes``: the full logical payload is read back (chunk
+        reassembly touches every chunk) and re-verified at hash speed."""
+        def run():
+            yield self.backing.read(nbytes, tag=tag or "cas-read", **kwargs)
+            yield self.env.timeout(nbytes / self.hash_bandwidth)
+
+        return self.env.process(run(), name=tag or "cas-read")
+
+    def drained(self) -> Event:
+        """Defers to the backing model's drain when it has one."""
+        if callable(getattr(self.backing, "drained", None)):
+            return self.backing.drained()
+        event = Event(self.env)
+        event.succeed(self.metrics())
+        return event
+
+    def metrics(self) -> Dict[str, float]:
+        """Dedup counters (mirrors :meth:`repro.io.CASStore.dedup_metrics`)."""
+        out = {
+            "bytes_logical": self.bytes_logical,
+            "bytes_written": self.bytes_written,
+            "bytes_deduped": self.bytes_deduped,
+            "dedup_ratio": (self.bytes_written / self.bytes_logical
+                            if self.bytes_logical else 1.0),
+        }
+        if callable(getattr(self.backing, "metrics", None)):
+            out.update({f"backing_{key}": value
+                        for key, value in self.backing.metrics().items()})
+        return out
+
+
 def make_parallel_fs(env: Environment, platform: PlatformSpec) -> SimParallelFileSystem:
     """Create the shared PFS model from the platform spec."""
     link = FairShareLink(
@@ -202,3 +289,24 @@ def make_tiered_storage(env: Environment, platform: PlatformSpec, node_id: int,
     )
     slow = shared_pfs if shared_pfs is not None else make_parallel_fs(env, platform)
     return SimTieredStorage(env=env, fast=fast, slow=slow)
+
+
+def make_cas_storage(env: Environment, platform: PlatformSpec, node_id: int,
+                     dedup_fraction: float = 0.0,
+                     hash_bandwidth: float = DEFAULT_CAS_HASH_BANDWIDTH,
+                     shared_pfs: Optional[SimParallelFileSystem] = None,
+                     backing: Optional[object] = None) -> SimContentAddressedStorage:
+    """Create one node's content-addressed storage model.
+
+    By default the chunk pool sits on the shared parallel file system (the
+    deployment :class:`~repro.io.CASStore` over an object/PFS-backed inner
+    store models); pass ``backing`` to layer dedup over any other storage
+    model, e.g. :func:`make_tiered_storage` for a CAS-over-tiered stack.
+    ``dedup_fraction`` is the steady-state fraction of each checkpoint's
+    bytes already resident in the pool (0 = every checkpoint written full).
+    """
+    if backing is None:
+        backing = shared_pfs if shared_pfs is not None else make_parallel_fs(env, platform)
+    return SimContentAddressedStorage(env=env, backing=backing,
+                                      dedup_fraction=dedup_fraction,
+                                      hash_bandwidth=hash_bandwidth)

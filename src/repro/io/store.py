@@ -33,7 +33,12 @@ optional (feature-detected with ``callable(getattr(store, name, None))``)
 
 The ``tiered`` backend (:class:`~repro.io.TieredStore`) composes two
 registered stores into a local fast tier with an asynchronous drain to a
-remote slow tier; see :mod:`repro.io.tiered`.
+remote slow tier; see :mod:`repro.io.tiered`.  The ``cas`` backend
+(:class:`~repro.io.CASStore`) wraps any inner store in content-addressed
+chunk storage with per-job namespaces, incremental (reference-based) saves,
+and refcounted cross-job GC; see :mod:`repro.io.cas` — its extra capability
+``record_shard_reference`` is feature-detected via
+:func:`supports_shard_reference`.
 """
 
 from __future__ import annotations
@@ -99,13 +104,14 @@ class ShardStore(Protocol):
 #: Canonical store names, default backend first.  The ``faulty`` chaos
 #: wrapper is registered but deliberately not canonical: conformance suites
 #: sweep STORE_NAMES and must not double-test through the injection wrapper.
-STORE_NAMES: List[str] = ["file", "object", "tiered"]
+STORE_NAMES: List[str] = ["file", "object", "tiered", "cas"]
 
 #: Display labels used in report/bench output.
 STORE_LABELS: Dict[str, str] = {
     "file": "FileStore (POSIX directory)",
     "object": "ObjectStore (in-memory, one part per key)",
     "tiered": "TieredStore (fast tier + async drain to slow tier)",
+    "cas": "CASStore (content-addressed chunks, namespaces, refcounted GC)",
     "faulty": "FaultyStore (seeded fault injection around another backend)",
 }
 
@@ -199,10 +205,36 @@ def _make_faulty_store(root=None, fsync: bool = False, inner: str = "file",
                        plan=plan)
 
 
+def _make_cas_store(root=None, fsync: bool = False, inner: str = "file",
+                    namespace=_UNSET, chunk_bytes=_UNSET, quota_bytes=None,
+                    **kwargs) -> ShardStore:
+    """Wrap another registered backend in content-addressed chunk storage.
+
+    ``inner`` names the wrapped backend holding the shared chunk pool
+    (anything registered except ``cas`` itself); ``namespace`` scopes this
+    handle to one job id over that pool, ``chunk_bytes`` sets the content
+    chunk size, and ``quota_bytes`` caps the namespace's committed logical
+    bytes.  Remaining kwargs go to the inner backend's factory.
+    """
+    from .cas import DEFAULT_CHUNK_BYTES, DEFAULT_NAMESPACE, CASStore
+
+    inner_name = canonical_store_name(inner)
+    if inner_name == "cas":
+        raise ConfigurationError("the 'cas' store cannot wrap itself")
+    return CASStore(
+        create_store(inner_name, root=root, fsync=fsync, **kwargs),
+        namespace=DEFAULT_NAMESPACE if namespace is _UNSET else namespace,
+        chunk_bytes=DEFAULT_CHUNK_BYTES if chunk_bytes is _UNSET
+        else int(chunk_bytes),
+        quota_bytes=quota_bytes,
+    )
+
+
 _STORE_REGISTRY: Dict[str, _StoreFactory] = {
     "file": _make_file_store,
     "object": _make_object_store,
     "tiered": _make_tiered_store,
+    "cas": _make_cas_store,
     "faulty": _make_faulty_store,
 }
 
@@ -264,3 +296,10 @@ def supports_mmap(store: object) -> bool:
 def supports_ranged_reads(store: object) -> bool:
     """Whether ``store`` offers ``read_shard_range`` (pread / ranged GET)."""
     return callable(getattr(store, "read_shard_range", None))
+
+
+def supports_shard_reference(store: object) -> bool:
+    """Whether ``store`` can record a shard as a reference to a previous
+    committed checkpoint's identical shard (``record_shard_reference``, the
+    CAS store's incremental-save fast path)."""
+    return callable(getattr(store, "record_shard_reference", None))

@@ -36,9 +36,16 @@ Once a checkpoint is REPLICATED its fast-tier copy becomes evictable:
 local for fast restarts; older replicated copies are deleted from the fast
 tier.  Restores go **nearest-tier-first** — reads (and mmaps) are served from
 the fast tier when the copy is present and transparently fall back to the
-slow tier after eviction or simulated local loss.  ``delete_checkpoint``
-operates **cross-tier** (and cancels/waits out an in-flight drain of the
-tag), so garbage collection never strands keys on either backend.
+slow tier after eviction or simulated local loss.  A slow-tier fallback read
+additionally **promotes on read** (``promote_on_read=True``): the
+just-fetched part is landed back in the fast tier, and once every part of
+the checkpoint is local again its fast-tier manifest is republished
+(manifest-last, the same commit invariant as a save), so a restored-from-
+remote checkpoint serves the *next* restore at local speed.  Promotion is
+opportunistic — a promotion failure never fails the read that triggered it.
+``delete_checkpoint`` operates **cross-tier** (and cancels/waits out an
+in-flight drain of the tag), so garbage collection never strands keys on
+either backend.
 """
 
 from __future__ import annotations
@@ -136,7 +143,7 @@ class TieredStore:
                  keep_local_latest: Optional[int] = DEFAULT_KEEP_LOCAL_LATEST,
                  drain_retries: int = DEFAULT_DRAIN_RETRIES,
                  drain_backoff_s: float = DEFAULT_DRAIN_BACKOFF_S,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False, promote_on_read: bool = True) -> None:
         if fast is slow:
             raise CheckpointError("the fast and slow tiers must be distinct stores")
         if drain_workers <= 0:
@@ -154,6 +161,7 @@ class TieredStore:
         self.drain_retries = int(drain_retries)
         self.drain_backoff_s = float(drain_backoff_s)
         self.fsync = fsync
+        self.promote_on_read = bool(promote_on_read)
         self._lock = threading.RLock()
         self._jobs: Dict[str, _DrainJob] = {}
         self._deleted: set = set()
@@ -168,6 +176,9 @@ class TieredStore:
         self.evicted_checkpoints = 0
         self.bytes_drained = 0
         self.drain_seconds_total = 0.0
+        self.promoted_parts = 0
+        self.promoted_checkpoints = 0
+        self.bytes_promoted = 0
         self._index_path = self._sidecar_path()
         self._recover()
 
@@ -485,6 +496,9 @@ class TieredStore:
                 "bytes_drained": self.bytes_drained,
                 "evicted_checkpoints": self.evicted_checkpoints,
                 "drain_seconds_total": self.drain_seconds_total,
+                "promoted_parts": self.promoted_parts,
+                "promoted_checkpoints": self.promoted_checkpoints,
+                "bytes_promoted": self.bytes_promoted,
             }
 
     # -- reads (nearest tier first) -------------------------------------------
@@ -496,11 +510,75 @@ class TieredStore:
         return bool(getattr(self.slow, "prefers_ranged_reads", False))
 
     def read_shard(self, tag: str, shard_name: str) -> bytes:
-        """Read one shard from the nearest tier holding it."""
+        """Read one shard from the nearest tier holding it.
+
+        A slow-tier fallback means the local copy is gone (evicted or lost);
+        the just-fetched bytes are opportunistically promoted back into the
+        fast tier so the next restore of this checkpoint is local again.
+        """
         try:
             return self.fast.read_shard(tag, shard_name)
         except (CheckpointError, OSError):
-            return self.slow.read_shard(tag, shard_name)
+            payload = self.slow.read_shard(tag, shard_name)
+            self._promote_part(tag, shard_name, payload)
+            return payload
+
+    def _promote_part(self, tag: str, shard_name: str, payload: bytes) -> None:
+        """Rehydrate one just-read part into the fast tier (promote-on-read).
+
+        Promotion follows the same commit invariant as a save: the fast-tier
+        manifest is republished only once **every** part of the checkpoint is
+        back locally (manifest-last), so a half-promoted checkpoint is never
+        visible as fast-tier committed.  Best-effort by design — a promotion
+        failure is logged and never fails the read that triggered it.
+
+        The payload is validated against the slow-tier manifest *before* it
+        touches the fast tier: a torn slow-tier read must surface to the
+        loader's checksum pass, never be cached locally where later reads
+        (including post-incident clean ones) would keep serving it.
+        """
+        if not self.promote_on_read:
+            return
+        with self._lock:
+            if tag in self._deleted:
+                return
+        try:
+            manifest = self.slow.read_manifest(tag)
+            expected = next(
+                (int(record["nbytes"]) for record in manifest.get("shards", [])
+                 if str(record["name"]) == shard_name), None)
+            if expected is None or len(payload) != expected:
+                logger.warning(
+                    "not promoting %s/%s: payload is %d bytes, manifest says "
+                    "%s (torn slow-tier read?)", tag, shard_name, len(payload),
+                    expected)
+                return
+            self.fast.write_shard(tag, shard_name, [payload])
+            with self._lock:
+                self.promoted_parts += 1
+                self.bytes_promoted += len(payload)
+            for record in manifest.get("shards", []):
+                try:
+                    present = (self.fast.shard_size(tag, str(record["name"]))
+                               == int(record["nbytes"]))
+                except Exception:  # noqa: BLE001 - part not yet promoted
+                    present = False
+                if not present:
+                    return  # more parts still to come back
+            with self._lock:
+                if tag in self._deleted:
+                    return
+            self.fast.write_manifest(tag, manifest)
+            with self._lock:
+                job = self._jobs.get(tag)
+                if job is not None:
+                    job.local = True
+                self.promoted_checkpoints += 1
+            self._persist_index()
+            logger.info("promoted checkpoint %s back to the fast tier", tag)
+        except Exception as exc:  # noqa: BLE001 - opportunistic housekeeping
+            logger.warning("promotion of %s/%s to the fast tier failed: %s",
+                           tag, shard_name, exc)
 
     def read_shard_range(self, tag: str, shard_name: str,
                          offset: int, length: int) -> bytes:

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..config import DEFAULT_PREFETCH_DEPTH
-from ..exceptions import ConsistencyError, RestartError
+from ..exceptions import CheckpointError, ConsistencyError, RestartError
 from ..io import MappedShard, ShardStore, supports_mmap, supports_ranged_reads
 from ..logging_utils import get_logger
 from ..serialization import (
@@ -228,9 +228,17 @@ class CheckpointLoader:
 
     def _fetch_part(self, tag: str, record: ShardRecord, validate: bool):
         """Fetch one shard part (mmap or whole read) and optionally validate
-        its size/CRC32; never leaks the mapping on a validation failure."""
+        its size/CRC32; never leaks the mapping on a validation failure.
+
+        Store-level read failures (an outage, a flaky device, a vanished
+        object) surface as :class:`~repro.exceptions.CheckpointError` rather
+        than raw ``OSError`` — the restore path's loud-failure contract."""
         if self.use_mmap:
-            mapped = self.store.open_shard_mmap(tag, record.name)
+            try:
+                mapped = self.store.open_shard_mmap(tag, record.name)
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot map shard {record.name!r} of {tag!r}: {exc}") from exc
             try:
                 if validate:
                     self._check_record(tag, record, mapped.data)
@@ -238,7 +246,11 @@ class CheckpointLoader:
                 mapped.close()
                 raise
             return mapped
-        raw = self._read_part(tag, record)
+        try:
+            raw = self._read_part(tag, record)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read shard {record.name!r} of {tag!r}: {exc}") from exc
         if validate:
             self._check_record(tag, record, raw)
         return raw

@@ -17,6 +17,13 @@ Schema versions
   fields) are only written when a shard-set is actually present, so
   single-shard checkpoints remain byte-identical to v1 manifests, and v1
   manifests parse unchanged (records simply have no shard-set fields).
+* **v3** — content-addressed storage: records written through the CAS
+  backend (:class:`~repro.io.CASStore`) additionally carry ``chunks``, an
+  ordered list of ``[hash, nbytes]`` pairs naming the content-addressed
+  chunks whose concatenation is the shard's byte stream.  The field is only
+  present for CAS checkpoints, so v1/v2 manifests stay byte-identical and
+  parse unchanged; the refcounting garbage collector rebuilds its chunk
+  index from exactly these lists.
 """
 
 from __future__ import annotations
@@ -27,8 +34,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ConsistencyError
 
-#: Current manifest schema version (written only when shard-sets are present).
-MANIFEST_VERSION = 2
+#: Current manifest schema version (v2/v3 keys are written only when
+#: shard-sets / chunk lists are actually present).
+MANIFEST_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -52,6 +60,10 @@ class ShardRecord:
     #: Position of this shard within its set, and the set's size.
     part_index: Optional[int] = None
     num_parts: Optional[int] = None
+    #: Content-addressed chunk list (schema v3): ordered ``(hash, nbytes)``
+    #: pairs whose concatenation is this shard's byte stream.  ``None`` for
+    #: whole-blob shards (every non-CAS backend).
+    chunks: Optional[Tuple[Tuple[str, int], ...]] = None
 
     @property
     def in_shard_set(self) -> bool:
@@ -69,12 +81,16 @@ class ShardRecord:
             payload["part_index"] = self.part_index
         if self.num_parts is not None:
             payload["num_parts"] = self.num_parts
+        if self.chunks is not None:
+            payload["chunks"] = [[chunk_hash, int(nbytes)]
+                                 for chunk_hash, nbytes in self.chunks]
         return payload
 
     @staticmethod
     def from_json(data: Dict) -> "ShardRecord":
         """Inverse of :meth:`to_json` (v1 records simply lack the set fields)."""
         tensor_checksums = data.get("tensor_checksums")
+        chunks = data.get("chunks")
         return ShardRecord(
             rank=int(data["rank"]),
             name=str(data["name"]),
@@ -85,6 +101,8 @@ class ShardRecord:
             group=None if data.get("group") is None else str(data["group"]),
             part_index=None if data.get("part_index") is None else int(data["part_index"]),
             num_parts=None if data.get("num_parts") is None else int(data["num_parts"]),
+            chunks=None if chunks is None
+            else tuple((str(chunk_hash), int(nbytes)) for chunk_hash, nbytes in chunks),
         )
 
 
@@ -108,8 +126,11 @@ class CheckpointManifest:
 
     @property
     def version(self) -> int:
-        """Schema version: 2 once any rank uses a multi-shard layout, else 1."""
-        return MANIFEST_VERSION if any(r.in_shard_set for r in self.shards) else 1
+        """Schema version: 3 once any record carries a content-addressed
+        chunk list, else 2 once any rank uses a multi-shard layout, else 1."""
+        if any(r.chunks is not None for r in self.shards):
+            return 3
+        return 2 if any(r.in_shard_set for r in self.shards) else 1
 
     def shard_sets_of_rank(self, rank: int) -> Dict[str, List[ShardRecord]]:
         """One rank's shards keyed by logical shard-set, parts in order.
@@ -152,9 +173,9 @@ class CheckpointManifest:
     def to_json(self) -> Dict:
         """JSON-serialisable form written to ``manifest.json``.
 
-        The ``version`` key is only emitted for v2 manifests (shard-sets
-        present), so single-shard checkpoints stay byte-identical to the
-        manifests every earlier release wrote.
+        The ``version`` key is only emitted for v2+ manifests (shard-sets or
+        chunk lists present), so single-shard checkpoints stay byte-identical
+        to the manifests every earlier release wrote.
         """
         payload = {
             "tag": self.tag,

@@ -1,0 +1,526 @@
+"""Content-addressed multi-tenant store (``cas``) unit + integration suite.
+
+Covers the chunk pool's content addressing (fixed-size sha256 chunks,
+dedup, hash-verified reads), namespace scoping and quotas over one shared
+pool, the refcounted two-phase cross-job GC (including the
+concurrent-writer-vs-sweeper race and crash-recovery refcount rebuilds),
+the engine-level incremental checkpoint path (``CheckpointPolicy.
+incremental``) against its <60 %-of-full-bytes acceptance bar, the
+``cas``-over-``object`` composition, and the simulated dedup model
+(:class:`SimContentAddressedStorage`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import CheckpointPolicy, PlatformSpec
+from repro.core import ENGINE_NAMES, create_real_engine
+from repro.exceptions import CheckpointError, ConfigurationError, ConsistencyError
+from repro.io import (
+    CASStore,
+    FileStore,
+    SimContentAddressedStorage,
+    SimParallelFileSystem,
+    create_store,
+    make_cas_storage,
+    make_parallel_fs,
+    supports_shard_reference,
+)
+from repro.io.cas import CHUNK_SHARD_NAME, INDEX_TAG, chunk_tag
+from repro.simulator import Environment
+
+CHUNK = 1024
+
+
+def _pool(tmp_path, chunk_bytes=CHUNK, **kwargs) -> CASStore:
+    return CASStore(FileStore(tmp_path / "pool"), chunk_bytes=chunk_bytes, **kwargs)
+
+
+def _payload(seed, nbytes):
+    return np.random.default_rng(seed).bytes(nbytes)
+
+
+def _save(store, tag, payloads):
+    """Write shards and commit a minimal (store-level) manifest."""
+    records = []
+    for name, payload in payloads.items():
+        store.write_shard(tag, name, [payload])
+        records.append({"name": name, "rank": 0, "nbytes": len(payload)})
+    store.write_manifest(tag, {"tag": tag, "shards": records})
+
+
+# ---------------------------------------------------------------------------
+# Chunking and content addressing
+# ---------------------------------------------------------------------------
+
+def test_roundtrip_chunks_payload_at_chunk_bytes(tmp_path):
+    store = _pool(tmp_path)
+    payload = _payload(0, 2 * CHUNK + CHUNK // 2)
+    _save(store, "ck", {"rank0": payload})
+
+    assert store.read_shard("ck", "rank0") == payload
+    assert store.shard_size("ck", "rank0") == len(payload)
+    assert len(store.pool_chunks()) == 3  # 1024 + 1024 + 512
+    metrics = store.dedup_metrics()
+    assert metrics["chunks_written"] == 3
+    assert metrics["bytes_written"] == len(payload)
+    assert metrics["dedup_ratio"] == 1.0
+
+
+def test_identical_rewrite_is_fully_deduped(tmp_path):
+    store = _pool(tmp_path)
+    payload = _payload(1, 3 * CHUNK)
+    _save(store, "ck-1", {"rank0": payload})
+    _save(store, "ck-2", {"rank0": payload})
+
+    metrics = store.dedup_metrics()
+    assert metrics["bytes_written"] == len(payload)       # second save free
+    assert metrics["bytes_logical"] == 2 * len(payload)
+    assert metrics["chunks_deduped"] == 3
+    assert metrics["dedup_ratio"] == pytest.approx(0.5)
+    assert store.read_shard("ck-2", "rank0") == payload
+    assert store.refcount(store.pool_chunks()[0]) == 2
+
+
+def test_repeated_content_within_one_shard_stores_one_chunk(tmp_path):
+    store = _pool(tmp_path)
+    payload = b"\xab" * (4 * CHUNK)
+    _save(store, "ck", {"rank0": payload})
+
+    assert len(store.pool_chunks()) == 1
+    metrics = store.dedup_metrics()
+    assert metrics["chunks_written"] == 1
+    assert metrics["chunks_deduped"] == 3
+    assert store.read_shard("ck", "rank0") == payload
+
+
+def test_ranged_read_touches_only_covering_chunks(tmp_path, monkeypatch):
+    store = _pool(tmp_path)
+    payload = _payload(2, 3 * CHUNK)
+    _save(store, "ck", {"rank0": payload})
+
+    fetched = []
+    real_read = store.inner.read_shard
+
+    def counting_read(tag, shard_name):
+        fetched.append(tag)
+        return real_read(tag, shard_name)
+
+    monkeypatch.setattr(store.inner, "read_shard", counting_read)
+    got = store.read_shard_range("ck", "rank0", 1000, 100)
+    assert got == payload[1000:1100]
+    assert len(fetched) == 2  # range spans the first chunk boundary only
+
+
+def test_corrupted_chunk_is_refused_loudly(tmp_path):
+    store = _pool(tmp_path)
+    payload = _payload(3, CHUNK)
+    _save(store, "ck", {"rank0": payload})
+    [chunk_hash] = store.pool_chunks()
+
+    # Same-size garbage: the content hash no longer matches the address.
+    store.inner.write_shard(chunk_tag(chunk_hash), CHUNK_SHARD_NAME,
+                            [_payload(99, CHUNK)])
+    with pytest.raises(ConsistencyError):
+        store.read_shard("ck", "rank0")
+
+    # Truncated garbage: detected by the size check before hashing.
+    store.inner.write_shard(chunk_tag(chunk_hash), CHUNK_SHARD_NAME,
+                            [payload[: CHUNK // 2]])
+    with pytest.raises(ConsistencyError):
+        store.read_shard("ck", "rank0")
+
+
+def test_committed_manifest_carries_v3_chunk_lists(tmp_path):
+    store = _pool(tmp_path)
+    payload = _payload(4, 2 * CHUNK + 7)
+    _save(store, "ck", {"rank0": payload})
+
+    manifest = store.read_manifest("ck")
+    assert manifest["version"] == 3
+    [record] = manifest["shards"]
+    sizes = [nbytes for _hash, nbytes in record["chunks"]]
+    assert sizes == [CHUNK, CHUNK, 7]
+    assert sum(sizes) == len(payload)
+
+
+def test_commit_requires_every_shard_written_through_the_store(tmp_path):
+    store = _pool(tmp_path)
+    store.write_shard("ck", "rank0", [_payload(5, CHUNK)])
+    with pytest.raises(CheckpointError):
+        store.write_manifest(
+            "ck", {"tag": "ck", "shards": [{"name": "ghost", "nbytes": 1}]})
+    # The staged shard is readable before commit (engines verify mid-flight).
+    assert len(store.read_shard("ck", "rank0")) == CHUNK
+
+
+def test_capability_and_self_wrap_guard(tmp_path):
+    store = _pool(tmp_path)
+    assert supports_shard_reference(store)
+    assert not supports_shard_reference(store.inner)
+    with pytest.raises(ConfigurationError):
+        CASStore(store)
+
+
+# ---------------------------------------------------------------------------
+# Namespaces and quotas
+# ---------------------------------------------------------------------------
+
+def test_namespaces_isolate_tags_but_share_chunks(tmp_path):
+    pool = _pool(tmp_path)
+    job_a = pool.namespace("jobA")
+    job_b = pool.namespace("jobB")
+    payload = _payload(6, 2 * CHUNK)
+    _save(job_a, "ck-1", {"rank0": payload})
+    _save(job_b, "base", {"rank0": payload})
+
+    assert job_a.list_committed_checkpoints() == ["ck-1"]
+    assert job_b.list_committed_checkpoints() == ["base"]
+    metrics = pool.dedup_metrics()
+    assert metrics["bytes_written"] == len(payload)  # second tenant free
+    for chunk_hash in pool.pool_chunks():
+        assert pool.refcount(chunk_hash) == 2
+    assert job_b.read_shard("base", "rank0") == payload
+
+
+def test_invalid_namespaces_rejected(tmp_path):
+    pool = _pool(tmp_path)
+    for bad in ("", "a/b", "a--b", ".hidden"):
+        with pytest.raises(ConfigurationError):
+            pool.namespace(bad)
+
+
+def test_quota_is_enforced_at_commit_per_namespace(tmp_path):
+    pool = _pool(tmp_path)
+    team = pool.namespace("team", quota_bytes=2 * CHUNK)
+    _save(team, "ck-1", {"rank0": _payload(7, CHUNK + CHUNK // 2)})
+    with pytest.raises(CheckpointError):
+        _save(team, "ck-2", {"rank0": _payload(8, CHUNK)})
+    # Other tenants of the same pool are not throttled ...
+    _save(pool.namespace("free"), "big", {"rank0": _payload(9, 4 * CHUNK)})
+    # ... and pruning frees the quota for the blocked commit.
+    team.delete_checkpoint("ck-1")
+    team.write_manifest(
+        "ck-2", {"tag": "ck-2",
+                 "shards": [{"name": "rank0", "rank": 0, "nbytes": CHUNK}]})
+    assert team.list_committed_checkpoints() == ["ck-2"]
+
+
+# ---------------------------------------------------------------------------
+# Cross-job refcounted GC
+# ---------------------------------------------------------------------------
+
+def test_cross_job_gc_never_deletes_a_still_referenced_chunk(tmp_path):
+    pool = _pool(tmp_path)
+    job_a = pool.namespace("jobA")
+    job_b = pool.namespace("jobB")
+    shared = _payload(10, 2 * CHUNK)
+    unique = _payload(11, 2 * CHUNK)
+    _save(job_a, "ck", {"shared": shared, "unique": unique})
+    _save(job_b, "ck", {"shared": shared})
+
+    job_a.delete_checkpoint("ck")
+    removed = pool.sweep_unreferenced()
+
+    # Only jobA's unique chunks go; everything jobB references survives.
+    assert removed == 2
+    assert len(pool.pool_chunks()) == 2
+    assert job_b.read_shard("ck", "shared") == shared
+    with pytest.raises(CheckpointError):
+        job_a.read_shard("ck", "unique")
+
+
+def test_sweep_reclaims_the_pool_after_the_last_reference(tmp_path):
+    pool = _pool(tmp_path)
+    job_b = pool.namespace("jobB")
+    _save(job_b, "ck", {"rank0": _payload(12, 3 * CHUNK)})
+    job_b.delete_checkpoint("ck")
+    assert pool.sweep_unreferenced() == 3
+    assert pool.pool_chunks() == []
+    assert pool.dedup_metrics()["chunks_swept"] == 3
+    # The emptied index is persisted: a cold open of the same pool agrees.
+    reopened = CASStore(FileStore(tmp_path / "pool"), chunk_bytes=CHUNK)
+    assert reopened.pool_chunks() == []
+    assert reopened.list_committed_checkpoints() == []
+
+
+def test_sweep_skips_a_chunk_repinned_by_a_concurrent_writer(tmp_path, monkeypatch):
+    """The prune-vs-save race: a writer re-referencing a zero-refcount chunk
+    between the sweeper's candidate listing and its per-chunk re-check must
+    win — the pin taken at first use makes the re-check skip the chunk."""
+    pool = _pool(tmp_path)
+    payload = _payload(13, 2 * CHUNK)
+    _save(pool, "old", {"rank0": payload})
+    pool.delete_checkpoint("old")  # refcounts drop to zero, chunks linger
+
+    writer = pool.namespace("writer")
+    real_list = pool.inner.list_checkpoints
+
+    def racy_list():
+        candidates = real_list()
+        # Interleave: the concurrent save lands (and pins) after the sweep
+        # gathered its candidates but before any per-chunk re-check.
+        writer.write_shard("new", "rank0", [payload])
+        return candidates
+
+    monkeypatch.setattr(pool.inner, "list_checkpoints", racy_list)
+    assert pool.sweep_unreferenced() == 0
+    monkeypatch.undo()
+
+    writer.write_manifest(
+        "new", {"tag": "new",
+                "shards": [{"name": "rank0", "rank": 0, "nbytes": len(payload)}]})
+    assert writer.read_shard("new", "rank0") == payload
+    assert len(pool.pool_chunks()) == 2
+
+
+def test_rewrite_after_a_completed_sweep_reuploads(tmp_path):
+    """The other side of the race window: once the sweep deleted a chunk
+    (and dropped it from the durable set), a later identical write must
+    re-upload rather than trust the stale pool entry."""
+    pool = _pool(tmp_path)
+    payload = _payload(14, CHUNK)
+    _save(pool, "old", {"rank0": payload})
+    pool.delete_checkpoint("old")
+    assert pool.sweep_unreferenced() == 1
+
+    before = pool.dedup_metrics()["chunks_written"]
+    _save(pool, "new", {"rank0": payload})
+    assert pool.dedup_metrics()["chunks_written"] == before + 1
+    assert pool.read_shard("new", "rank0") == payload
+
+
+# ---------------------------------------------------------------------------
+# Refcount index crash recovery
+# ---------------------------------------------------------------------------
+
+def test_lost_index_is_rebuilt_from_committed_manifests(tmp_path):
+    pool = _pool(tmp_path)
+    shared = _payload(15, 2 * CHUNK)
+    _save(pool.namespace("jobA"), "ck", {"rank0": shared})
+    _save(pool.namespace("jobB"), "ck", {"rank0": shared})
+    pool.inner.delete_checkpoint(INDEX_TAG)  # crash loses the index
+
+    reopened = CASStore(FileStore(tmp_path / "pool"), chunk_bytes=CHUNK)
+    for chunk_hash in reopened.pool_chunks():
+        assert reopened.refcount(chunk_hash) == 2
+    assert reopened.sweep_unreferenced() == 0
+    assert reopened.namespace("jobB").read_shard("ck", "rank0") == shared
+
+
+def test_rebuild_corrects_a_stale_overcounting_index(tmp_path):
+    """A crash between a prune's inner delete and its decrement persist
+    leaves the index over-counting — stranded garbage, never data loss.
+    ``rebuild_refcounts`` re-derives truth from committed manifests so the
+    sweep can reclaim it."""
+    pool = _pool(tmp_path)
+    job_a, job_b = pool.namespace("jobA"), pool.namespace("jobB")
+    _save(job_a, "ck-a", {"rank0": _payload(16, 2 * CHUNK)})
+    keep = _payload(17, 2 * CHUNK)
+    _save(job_b, "ck-b", {"rank0": keep})
+
+    # Crash-prune ck-a: the inner tag vanishes, the decrement never lands.
+    [inner_tag] = [tag for tag in pool.inner.list_committed_checkpoints()
+                   if tag.endswith("ck-a")]
+    pool.inner.delete_checkpoint(inner_tag)
+
+    reopened = CASStore(FileStore(tmp_path / "pool"), chunk_bytes=CHUNK)
+    assert len(reopened.pool_chunks()) == 4  # 2 stranded + 2 live
+    counts = reopened.rebuild_refcounts()
+    assert sum(counts.values()) == 2  # only ck-b's chunks are referenced
+    assert reopened.sweep_unreferenced() == 2
+    assert reopened.namespace("jobB").read_shard("ck-b", "rank0") == keep
+
+
+def test_orphan_chunks_from_an_aborted_save_are_swept(tmp_path):
+    pool = _pool(tmp_path)
+    pool.write_shard("never-committed", "rank0", [_payload(18, 2 * CHUNK)])
+    _save(pool, "ck", {"rank0": _payload(19, CHUNK)})
+
+    # Crash: pins die with the process; the upload already hit the pool.
+    reopened = CASStore(FileStore(tmp_path / "pool"), chunk_bytes=CHUNK)
+    assert len(reopened.pool_chunks()) == 3
+    assert reopened.sweep_unreferenced() == 2
+    assert len(reopened.pool_chunks()) == 1
+    assert reopened.list_committed_checkpoints() == ["ck"]
+
+
+# ---------------------------------------------------------------------------
+# Incremental checkpoints through the real engines
+# ---------------------------------------------------------------------------
+
+def _training_state(opt_seed):
+    rng = np.random.default_rng(7)
+    model = {f"w{i}": rng.standard_normal(4096) for i in range(8)}
+    opt_rng = np.random.default_rng(opt_seed)
+    optimizer = {f"m{i}": opt_rng.standard_normal(4096) for i in range(8)}
+    return {"model": model, "optimizer": optimizer, "iteration": 0}
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+def test_incremental_save_writes_under_sixty_percent(engine_name, tmp_path):
+    """The headline acceptance bar: with only the optimizer state changed,
+    an incremental save moves <60 % of the full checkpoint's bytes and the
+    restore is bit-identical; an identical re-save moves ~zero bytes by
+    recording the whole shard by reference."""
+    store = create_store("cas", root=tmp_path / "pool", chunk_bytes=4096)
+    policy = CheckpointPolicy(host_buffer_size=1 << 28, incremental=True)
+    with create_real_engine(engine_name, store, policy=policy) as engine:
+        engine.save(_training_state(1), "ckpt-1", iteration=1)
+        engine.wait_all(timeout=30)
+        full = store.dedup_metrics()["bytes_written"]
+
+        changed = _training_state(2)  # only the optimizer half differs
+        engine.save(changed, "ckpt-2", iteration=2)
+        engine.wait_all(timeout=30)
+        incremental = store.dedup_metrics()["bytes_written"] - full
+        assert incremental < 0.6 * full
+
+        restored = engine.load("ckpt-2")
+        for key, value in changed["model"].items():
+            np.testing.assert_array_equal(restored["model"][key], value)
+        for key, value in changed["optimizer"].items():
+            np.testing.assert_array_equal(restored["optimizer"][key], value)
+
+        # Bit-identical re-save: every part is recorded by reference.
+        before = store.dedup_metrics()["bytes_written"]
+        engine.save(changed, "ckpt-3", iteration=2)
+        engine.wait_all(timeout=30)
+        assert store.dedup_metrics()["bytes_written"] == before
+        assert engine.stats()["parts_referenced"] >= 1
+        assert engine.stats()["bytes_referenced"] > 0
+        resaved = engine.load("ckpt-3")
+        np.testing.assert_array_equal(resaved["optimizer"]["m3"],
+                                      changed["optimizer"]["m3"])
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+def test_incremental_base_prune_keeps_referencing_checkpoints_whole(
+        engine_name, tmp_path):
+    """Deleting the base of an incremental chain must not damage the
+    checkpoints that recorded parts of it by reference — the refcounts keep
+    the shared chunks alive through the sweep."""
+    store = create_store("cas", root=tmp_path / "pool", chunk_bytes=4096)
+    policy = CheckpointPolicy(host_buffer_size=1 << 28, incremental=True)
+    with create_real_engine(engine_name, store, policy=policy) as engine:
+        state = _training_state(3)
+        engine.save(state, "base", iteration=1)
+        engine.wait_all(timeout=30)
+        engine.save(state, "head", iteration=2)  # identical: pure reference
+        engine.wait_all(timeout=30)
+
+        store.delete_checkpoint("base")
+        assert store.sweep_unreferenced() == 0  # every chunk still referenced
+        restored = engine.load("head")
+        np.testing.assert_array_equal(restored["model"]["w0"],
+                                      state["model"]["w0"])
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+def test_engines_roundtrip_over_cas_with_object_inner(engine_name, tmp_path):
+    """The pool works over the S3-like backend's minimal core too."""
+    store = create_store("cas", root=tmp_path / "pool", inner="object",
+                         namespace="tenant", chunk_bytes=4096)
+    policy = CheckpointPolicy(host_buffer_size=1 << 28, incremental=True)
+    with create_real_engine(engine_name, store, policy=policy) as engine:
+        state = _training_state(4)
+        engine.save(state, "ck-1", iteration=1)
+        engine.wait_all(timeout=30)
+        engine.save(state, "ck-2", iteration=2)
+        engine.wait_all(timeout=30)
+        assert engine.list_checkpoints() == ["ck-1", "ck-2"]
+
+        store.delete_checkpoint("ck-1")
+        store.sweep_unreferenced()
+        restored = engine.load("ck-2")
+        for key, value in state["model"].items():
+            np.testing.assert_array_equal(restored["model"][key], value)
+
+
+# ---------------------------------------------------------------------------
+# Simulated dedup model
+# ---------------------------------------------------------------------------
+
+class _RecordingBacking:
+    """Constant-bandwidth backing model recording the bytes it was charged."""
+
+    def __init__(self, env, bandwidth):
+        self.env = env
+        self.bandwidth = bandwidth
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+
+    def write(self, nbytes, tag=None, **kwargs):
+        self.bytes_written += nbytes
+        return self.env.timeout(nbytes / self.bandwidth)
+
+    def read(self, nbytes, tag=None, **kwargs):
+        self.bytes_read += nbytes
+        return self.env.timeout(nbytes / self.bandwidth)
+
+    def metrics(self):
+        return {"bytes_written": self.bytes_written}
+
+
+def _run(env, storage, op, nbytes):
+    record = {}
+
+    def proc():
+        yield getattr(storage, op)(nbytes)
+        record["end"] = env.now
+
+    env.process(proc())
+    env.run()
+    return record["end"]
+
+
+def test_sim_cas_write_charges_hash_pass_then_physical_remainder():
+    env = Environment()
+    backing = _RecordingBacking(env, bandwidth=1e9)
+    cas = SimContentAddressedStorage(env=env, backing=backing,
+                                     dedup_fraction=0.5, hash_bandwidth=2e9)
+    # 2 GB logical: 1 s hashing at 2 GB/s, then 1 GB physical at 1 GB/s.
+    assert _run(env, cas, "write", 2e9) == pytest.approx(2.0, rel=1e-6)
+    assert backing.bytes_written == pytest.approx(1e9)
+    metrics = cas.metrics()
+    assert metrics["bytes_deduped"] == pytest.approx(1e9)
+    assert metrics["dedup_ratio"] == pytest.approx(0.5)
+    assert metrics["backing_bytes_written"] == pytest.approx(1e9)
+
+
+def test_sim_cas_full_dedup_never_touches_the_backing():
+    env = Environment()
+    backing = _RecordingBacking(env, bandwidth=1e9)
+    cas = SimContentAddressedStorage(env=env, backing=backing,
+                                     dedup_fraction=1.0, hash_bandwidth=2e9)
+    assert _run(env, cas, "write", 2e9) == pytest.approx(1.0, rel=1e-6)
+    assert backing.bytes_written == 0.0
+
+
+def test_sim_cas_restore_reads_full_logical_bytes_plus_verify():
+    env = Environment()
+    backing = _RecordingBacking(env, bandwidth=1e9)
+    cas = SimContentAddressedStorage(env=env, backing=backing,
+                                     dedup_fraction=0.5, hash_bandwidth=2e9)
+    # Restores reassemble every chunk: 2 s backing read + 1 s verify.
+    assert _run(env, cas, "read", 2e9) == pytest.approx(3.0, rel=1e-6)
+    assert backing.bytes_read == pytest.approx(2e9)
+
+
+def test_sim_cas_validates_its_knobs():
+    env = Environment()
+    backing = _RecordingBacking(env, bandwidth=1e9)
+    with pytest.raises(ConfigurationError):
+        SimContentAddressedStorage(env=env, backing=backing, dedup_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        SimContentAddressedStorage(env=env, backing=backing, hash_bandwidth=0.0)
+
+
+def test_make_cas_storage_defaults_to_the_shared_pfs():
+    env = Environment()
+    platform = PlatformSpec.polaris()
+    cas = make_cas_storage(env, platform, node_id=0, dedup_fraction=0.25)
+    assert isinstance(cas.backing, SimParallelFileSystem)
+    shared = make_parallel_fs(env, platform)
+    reused = make_cas_storage(env, platform, node_id=1, shared_pfs=shared)
+    assert reused.backing is shared

@@ -33,9 +33,10 @@ import pytest
 
 from repro.config import CheckpointPolicy
 from repro.core import ENGINE_NAMES, create_real_engine
-from repro.exceptions import CheckpointError, ConsistencyError
+from repro.exceptions import CheckpointError, ConsistencyError, RestartError
 from repro.io import (
     STORE_NAMES,
+    CASStore,
     FaultPlan,
     FaultyStore,
     FileStore,
@@ -90,13 +91,16 @@ def _state(seed: int, size: int = 96):
 def _build_store(store_backend: str, plan: FaultPlan, tmp_path: Path):
     """A faulted store plus the clean view the oracle validates through.
 
-    ``file``/``object`` wrap the whole backend.  ``tiered`` wraps the **slow
-    tier**: the fault surface that matters there is the background drain
-    (outages and flaky writes mid-drain exercise the retry machinery), while
-    the fast tier keeps serving nearest-tier restores.  The clean view of a
-    tiered store is the tiered store itself with injection suspended — its
-    restore path picks the nearest intact tier, which is exactly what a
-    restart would do.
+    ``file``/``object`` wrap the whole backend.  ``cas`` wraps the **inner
+    chunk pool**: every chunk upload, refcount-index write, and manifest
+    publish passes the fault filter, and the oracle validates through a
+    fresh CAS view over the same (clean) pool directory.  ``tiered`` wraps
+    the **slow tier**: the fault surface that matters there is the
+    background drain (outages and flaky writes mid-drain exercise the retry
+    machinery), while the fast tier keeps serving nearest-tier restores.
+    The clean view of a tiered store is the tiered store itself with
+    injection suspended — its restore path picks the nearest intact tier,
+    which is exactly what a restart would do.
     """
     if store_backend == "file":
         store = FaultyStore(FileStore(tmp_path / "shards"), plan)
@@ -104,6 +108,13 @@ def _build_store(store_backend: str, plan: FaultPlan, tmp_path: Path):
     if store_backend == "object":
         store = FaultyStore(ObjectStore(), plan)
         return store, store.inner, store
+    if store_backend == "cas":
+        faulty_inner = FaultyStore(FileStore(tmp_path / "pool"), plan)
+        # Small chunks so even the test-sized shards span several chunks and
+        # the reassembly path is genuinely exercised under faults.
+        store = CASStore(faulty_inner, chunk_bytes=4096)
+        clean_view = CASStore(FileStore(tmp_path / "pool"))
+        return store, clean_view, faulty_inner
     assert store_backend == "tiered"
     slow = FaultyStore(ObjectStore(), plan)
     store = TieredStore(fast=FileStore(tmp_path / "fast"), slow=slow,
@@ -188,6 +199,92 @@ def test_chaos_never_silently_corrupts(engine_name, store_backend, scenario,
     # pins the sanity of the harness itself.
     assert len(committed) <= ROUNDS
     assert validated <= len(committed)
+
+
+#: Read-path scenario -> FaultPlan overrides armed AFTER a clean save phase.
+#: ``outage_start_op`` is relative to the op counter at restore start.
+RESTORE_SCENARIOS = {
+    "torn_read": dict(torn_read_prob=0.45, torn_read_keep_fraction=0.5),
+    "read_errors": dict(read_error_prob=0.45, max_failures_per_op=2),
+    "read_outage": dict(outage_start_op=2, outage_ops=5),
+}
+
+
+@pytest.fixture(params=sorted(RESTORE_SCENARIOS))
+def restore_scenario(request):
+    return request.param
+
+
+def test_chaos_restore_never_silently_corrupts(engine_name, store_backend,
+                                               restore_scenario, tmp_path):
+    """Fault injection on the READ path: checkpoints land cleanly, then the
+    faults strike during ``load_all``.  Every restore attempt must either
+    reassemble **bit-identical** state or raise loudly — a torn (short) read,
+    a transient read error, or an outage mid-restore must never hand back
+    corrupted tensors or leak a raw ``OSError``."""
+    label = f"restore-{restore_scenario}"
+    seed = config_seed(engine_name, store_backend, label)
+    store, clean_view, faulty = _build_store(store_backend, FaultPlan(seed=seed),
+                                             tmp_path)
+    repro_hint = (f"[chaos seed {CHAOS_SEED}, config seed {seed}: "
+                  f"{engine_name} × {store_backend} × {label}]")
+
+    expected = {}
+    with create_real_engine(engine_name, store,
+                            policy=CheckpointPolicy(host_buffer_size=8 << 20)) as engine:
+        for round_index in range(3):
+            tag = f"ckpt-{round_index:03d}"
+            state = _state(seed=round_index)
+            expected[tag] = state
+            engine.save(state, tag=tag, iteration=round_index)
+            engine.wait_all(timeout=30.0)
+        if callable(getattr(store, "wait_drained", None)):
+            store.wait_drained(timeout=30.0)
+    assert sorted(store.list_committed_checkpoints()) == sorted(expected)
+
+    # Arm the read faults only now, so the save phase above is genuinely
+    # clean and every failure below is a restore-path failure.
+    overrides = dict(RESTORE_SCENARIOS[restore_scenario])
+    if "outage_start_op" in overrides:
+        overrides["outage_start_op"] += faulty.ops_so_far()
+    plan = FaultPlan(seed=seed, **overrides)
+    faulty.plan = plan
+
+    loader = CheckpointLoader(store)
+    restored_ok = 0
+    refused = 0
+    for _attempt in range(3):
+        for tag, want in expected.items():
+            try:
+                restored = loader.load_all(tag)
+            except (CheckpointError, ConsistencyError, RestartError):
+                refused += 1  # loud refusal: the sanctioned outcome
+                continue
+            except OSError as exc:
+                _dump_artifact(plan, engine_name, store_backend, label)
+                pytest.fail(
+                    f"raw OSError escaped the restore path {repro_hint}: {exc}")
+            state = restored[0]
+            same = (np.array_equal(state["model"]["w"], want["model"]["w"])
+                    and np.array_equal(state["model"]["b"], want["model"]["b"])
+                    and np.array_equal(state["optimizer"]["m"], want["optimizer"]["m"]))
+            if not same:
+                artifact = _dump_artifact(plan, engine_name, store_backend, label)
+                pytest.fail(
+                    f"restore of {tag!r} returned silently corrupted state "
+                    f"{repro_hint}; fault plan dumped to {artifact}")
+            restored_ok += 1
+    assert restored_ok + refused == 3 * len(expected)
+
+    # Once the fault window closes, every checkpoint restores bit-exactly —
+    # read faults must not have damaged anything at rest.
+    with faulty.suspend():
+        recovered = CheckpointLoader(clean_view)
+        for tag, want in expected.items():
+            state = recovered.load_all(tag)[0]
+            np.testing.assert_array_equal(state["model"]["w"], want["model"]["w"])
+            np.testing.assert_array_equal(state["optimizer"]["m"],
+                                          want["optimizer"]["m"])
 
 
 def test_committed_checkpoints_survive_when_faults_stop(engine_name,

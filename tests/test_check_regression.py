@@ -50,6 +50,13 @@ def _io_fastpath(scale=1.0, host=HOST):
                       "drained_seconds": 0.8 * scale},
             },
         },
+        "dedup_incremental_sweep": {
+            "full_save_seconds": 0.50 * scale,
+            "incremental_save_seconds": 0.22 * scale,
+            "bytes_full": 100_000_000,
+            "bytes_incremental": 54_000_000,
+            "incremental_fraction": 0.54,
+        },
     }
 
 
@@ -117,6 +124,13 @@ def test_io_fastpath_regression_detected(tmp_path):
     # restore/save_stall (single-shot real-disk metrics).
     assert not any("drained_seconds" in p for p in problems)
     assert not any("restore" in p or "save_stall" in p for p in problems)
+    # The CAS full/incremental save times are gated; the byte counters are
+    # asserted inside the bench (deterministic) and never gated here.
+    assert any("dedup_incremental_sweep.full_save_seconds" in p for p in problems)
+    assert any("dedup_incremental_sweep.incremental_save_seconds" in p
+               for p in problems)
+    assert not any("bytes_full" in p or "incremental_fraction" in p
+                   for p in problems)
 
 
 def test_missing_fresh_results_fail(tmp_path):

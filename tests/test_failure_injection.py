@@ -103,6 +103,30 @@ def test_rank_failure_aborts_global_commit(tmp_path):
         engine.shutdown(wait=False)
 
 
+def _rewrite_stored_shard(store, store_backend, tag, shard_name, payload):
+    """Land corrupted bytes where the loader will actually read them.
+
+    Most backends overwrite in place through their own write path.  A
+    committed CAS checkpoint is immutable through the front door (an
+    overwrite only stages new pending chunks; the committed manifest keeps
+    pointing at the originals), so there the corruption is applied to the
+    stored chunks themselves through the inner pool's write path —
+    modelling post-commit disk damage under the content-addressed layer.
+    """
+    if store_backend == "cas":
+        from repro.io.cas import CHUNK_SHARD_NAME, chunk_tag
+
+        record = next(r for r in store.read_manifest(tag)["shards"]
+                      if r["name"] == shard_name)
+        offset = 0
+        for chunk_hash, nbytes in record["chunks"]:
+            store.inner.write_shard(chunk_tag(chunk_hash), CHUNK_SHARD_NAME,
+                                    [payload[offset:offset + nbytes]])
+            offset += nbytes
+    else:
+        store.write_shard(tag, shard_name, [payload])
+
+
 @pytest.mark.parametrize("store_backend", STORE_NAMES)
 def test_crash_truncated_committed_shard_detected(store_backend, tmp_path):
     """Even a committed checkpoint is re-validated at restart: a post-commit
@@ -119,7 +143,7 @@ def test_crash_truncated_committed_shard_detected(store_backend, tmp_path):
     # Backend-agnostic corruption: re-land the shard minus its tail through
     # the store's own write path (the bytes the loader will see next).
     raw = store.read_shard("ok", "rank0")
-    store.write_shard("ok", "rank0", [raw[:-64]])
+    _rewrite_stored_shard(store, store_backend, "ok", "rank0", raw[:-64])
     loader = CheckpointLoader(store)
     with pytest.raises(ConsistencyError):
         loader.validate("ok")
@@ -143,7 +167,7 @@ def test_torn_committed_shard_detected(store_backend, tmp_path):
     # Same length, torn content: zero the second half so only the CRC check
     # (not the cheaper size check) can catch it.
     torn = raw[: len(raw) // 2] + b"\x00" * (len(raw) - len(raw) // 2)
-    store.write_shard("torn", "rank0", [torn])
+    _rewrite_stored_shard(store, store_backend, "torn", "rank0", torn)
     loader = CheckpointLoader(store)
     with pytest.raises(ConsistencyError):
         loader.load_all("torn")

@@ -53,6 +53,10 @@ def test_plan_validates_fields():
     with pytest.raises(ConfigurationError):
         FaultPlan(torn_write_keep_fraction=1.0)  # must truncate something
     with pytest.raises(ConfigurationError):
+        FaultPlan(torn_read_prob=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultPlan(torn_read_keep_fraction=1.0)
+    with pytest.raises(ConfigurationError):
         FaultPlan(max_failures_per_op=0)
     with pytest.raises(ConfigurationError):
         FaultPlan(outage_ops=-1)
@@ -62,6 +66,7 @@ def test_plan_validates_fields():
 
 def test_plan_json_round_trip():
     plan = FaultPlan(seed=42, torn_write_prob=0.25, write_error_prob=0.1,
+                     torn_read_prob=0.2, torn_read_keep_fraction=0.75,
                      max_failures_per_op=2, outage_start_op=7, outage_ops=3,
                      kill_on_manifest=1)
     assert FaultPlan.from_json(plan.to_json()) == plan
@@ -114,6 +119,35 @@ def test_torn_write_detected_at_restore(tmp_path):
     loader = CheckpointLoader(store.inner)
     with pytest.raises(ConsistencyError):
         loader.load_all("torn")
+
+
+def test_torn_read_detected_by_loader(tmp_path):
+    """A torn (short) read hands back fewer bytes than the manifest records:
+    the loader's size check must reject it, never return truncated state —
+    and the data at rest stays intact, so a clean retry succeeds."""
+    store = FaultyStore(FileStore(tmp_path),
+                        FaultPlan(seed=14, torn_read_prob=1.0,
+                                  torn_read_keep_fraction=0.5))
+    with store.suspend():
+        _save_one(store, "ok")
+    with pytest.raises(ConsistencyError):
+        CheckpointLoader(store).load_all("ok")
+    assert any(entry["kind"] == "torn_read" for entry in store.fault_log())
+    with store.suspend():
+        restored = CheckpointLoader(store).load_all("ok")
+    np.testing.assert_array_equal(restored[0]["w"], _state(0)["w"])
+
+
+def test_torn_read_covers_ranged_reads(tmp_path):
+    inner = FileStore(tmp_path)
+    if not supports_ranged_reads(inner):
+        pytest.skip("inner store has no ranged reads")
+    store = FaultyStore(inner, FaultPlan(seed=15, torn_read_prob=1.0,
+                                         torn_read_keep_fraction=0.5))
+    with store.suspend():
+        store.write_shard("ck", "rank0", [b"0123456789"])
+    assert store.read_shard_range("ck", "rank0", 0, 8) == b"0123"
+    assert any(entry["kind"] == "torn_read" for entry in store.fault_log())
 
 
 def test_transient_error_budget_then_success(tmp_path):
@@ -231,7 +265,7 @@ def test_read_faults_cover_ranged_reads(tmp_path):
 
 def test_faulty_store_registered_but_not_canonical(tmp_path):
     assert "faulty" in available_stores()
-    assert "faulty" not in STORE_NAMES  # conformance sweeps stay 3-store
+    assert "faulty" not in STORE_NAMES  # not part of the canonical sweep
     store = create_store("faulty", root=tmp_path, inner="file",
                          plan={"seed": 13, "write_error_prob": 1.0})
     assert isinstance(store, FaultyStore)

@@ -23,6 +23,9 @@ from repro.serialization import CheckpointManifest, ShardRecord
 FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "v1_checkpoint"
 FIXTURE_TAG = "ckpt-000004"
 
+V2_FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "v2_checkpoint"
+V2_FIXTURE_TAG = "ckpt-000008"
+
 
 def fixture_state():
     """The exact state the committed fixture was generated from."""
@@ -79,6 +82,43 @@ def test_v1_fixture_manifest_has_no_v2_keys():
     assert "version" not in manifest
     for record in manifest["shards"]:
         assert "group" not in record and "part_index" not in record
+
+
+# ---------------------------------------------------------------------------
+# The committed v2 (multi-shard) fixture restores unchanged
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("use_mmap", [True, False])
+def test_v2_fixture_checkpoint_restores_unchanged(use_mmap):
+    store = FileStore(V2_FIXTURE_ROOT)
+    loader = CheckpointLoader(store, use_mmap=use_mmap)
+
+    manifest = loader.validate(V2_FIXTURE_TAG)
+    assert manifest.version == 2
+    assert [record.name for record in manifest.shards] == [
+        "rank0-s00", "rank0-s01"]
+    assert all(record.group == "rank0" for record in manifest.shards)
+
+    expected = fixture_state()
+    loaded = loader.load_rank(V2_FIXTURE_TAG, 0)
+    np.testing.assert_array_equal(loaded["model"]["w"], expected["model"]["w"])
+    np.testing.assert_array_equal(loaded["model"]["b"], expected["model"]["b"])
+    np.testing.assert_array_equal(loaded["optimizer"]["m"], expected["optimizer"]["m"])
+    assert loaded["optimizer"]["step"] == 4
+    assert loaded["iteration"] == 4
+
+
+def test_v2_fixture_manifest_has_no_v3_keys():
+    """Guard: the committed fixture is schema v2 on disk — shard-set fields
+    present, no CAS chunk lists (those are the v3 extension)."""
+    import json
+
+    manifest = json.loads(
+        (V2_FIXTURE_ROOT / V2_FIXTURE_TAG / "manifest.json").read_text())
+    assert manifest["version"] == 2
+    for record in manifest["shards"]:
+        assert "chunks" not in record
+        assert record["group"] == "rank0"
 
 
 # ---------------------------------------------------------------------------

@@ -153,6 +153,67 @@ def test_replay_store_models_differ_on_node_failures():
     assert rows["tiered"]["goodput"] >= rows["file"]["goodput"]
 
 
+def test_replay_drain_lag_extends_node_failure_loss():
+    """Satellite: a checkpoint still DRAINING when its node dies is only as
+    durable as the slow tier, so the node failure falls back one period to
+    the last REPLICATED checkpoint — link failures (fast tier survives) and
+    synchronously-durable stores do not."""
+    from repro.analysis.replay import replay_config
+
+    platform = PlatformSpec.polaris()
+    calibration = calibrate_engine("datastates", model_size="7B",
+                                   checkpoint_interval=5, platform=platform)
+    period = calibration["checkpoint_period_seconds"]
+    # Strike a hair after the 10th checkpoint completes: it cannot possibly
+    # have finished draining yet.
+    strike = 10.0 * period + 1e-3
+    horizon = strike + 3600.0
+
+    def _trace(kind):
+        return FailureTrace(
+            [FailureEvent(time=strike, kind=kind, target=f"{kind}-0",
+                          downtime=300.0)],
+            horizon_s=horizon, nodes=1024)
+
+    tiered_node = replay_config(_trace("node"), calibration, "tiered", platform)
+    tiered_link = replay_config(_trace("link"), calibration, "tiered", platform)
+    file_node = replay_config(_trace("node"), calibration, "file", platform)
+
+    assert tiered_node["drain_lag_losses"] == 1
+    assert tiered_link["drain_lag_losses"] == 0
+    assert file_node["drain_lag_losses"] == 0
+    # The fallback costs exactly one checkpoint period of extra lost work.
+    extra = tiered_node["lost_work_seconds"] - tiered_link["lost_work_seconds"]
+    progress_rate = (calibration["iteration_seconds"]
+                     / calibration["effective_iteration_seconds"])
+    assert extra == pytest.approx(period * progress_rate, rel=1e-6)
+
+
+def test_replay_node_failure_outside_drain_window_keeps_checkpoint():
+    """A node failure striking long after the newest checkpoint drained
+    preserves it: no drain-lag fallback."""
+    from repro.analysis.replay import replay_config
+
+    platform = PlatformSpec.polaris()
+    # A long interval makes the period dwarf the drain lag, so a mid-period
+    # strike lands with the newest checkpoint fully REPLICATED.
+    calibration = calibrate_engine("datastates", model_size="7B",
+                                   checkpoint_interval=50, platform=platform)
+    period = calibration["checkpoint_period_seconds"]
+    total_bytes = (calibration["checkpoint_bytes_per_gpu"] * 1024
+                   * platform.gpus_per_node)
+    drain_lag = total_bytes / min(1024 * platform.nic_bandwidth,
+                                  platform.pfs_aggregate_bandwidth)
+    assert drain_lag < 0.9 * period  # precondition of the scenario
+    strike = 10.0 * period + 0.95 * period
+    trace = FailureTrace(
+        [FailureEvent(time=strike, kind="node", target="node-0",
+                      downtime=300.0)],
+        horizon_s=strike + 3600.0, nodes=1024)
+    row = replay_config(trace, calibration, "tiered", platform)
+    assert row["drain_lag_losses"] == 0
+
+
 def test_replay_absorbs_failures_during_restart():
     """A failure landing while the fleet is still restarting does not start
     a second restart — it is absorbed into the ongoing one."""

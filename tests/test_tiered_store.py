@@ -248,6 +248,68 @@ def test_reads_prefer_the_fast_tier(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Promote-on-read rehydration
+# ---------------------------------------------------------------------------
+
+def test_promote_on_read_rehydrates_fast_tier(tmp_path):
+    """A slow-tier fallback read lands the part back in the fast tier, and
+    once every part is local the fast-tier manifest is republished
+    (manifest-last) — so the next restore is served locally again."""
+    store = _tiered(tmp_path)
+    _save(store, ["ckpt-1"])
+    store.wait_drained()
+    reference = CheckpointLoader(store).load_all("ckpt-1")
+    store.fast.delete_checkpoint("ckpt-1")  # simulated local loss
+
+    restored = CheckpointLoader(store).load_all("ckpt-1")
+    for name, array in reference[0]["model"].items():
+        np.testing.assert_array_equal(array, restored[0]["model"][name])
+    # Promotion rehydrated the fast tier with the commit invariant intact.
+    assert store.fast.list_committed_checkpoints() == ["ckpt-1"]
+    assert store.fast.read_manifest("ckpt-1") == store.slow.read_manifest("ckpt-1")
+    metrics = store.drain_metrics()
+    assert metrics["promoted_checkpoints"] == 1
+    assert metrics["promoted_parts"] >= 1
+    assert metrics["bytes_promoted"] == store.fast.total_bytes("ckpt-1")
+
+    # The next restore never touches the slow tier again.
+    before = store.slow.get_count
+    CheckpointLoader(store).load_all("ckpt-1")
+    assert store.slow.get_count == before
+    store.close()
+
+
+def test_promote_on_read_can_be_disabled(tmp_path):
+    store = _tiered(tmp_path, promote_on_read=False)
+    _save(store, ["ckpt-1"])
+    store.wait_drained()
+    store.fast.delete_checkpoint("ckpt-1")
+    CheckpointLoader(store).load_all("ckpt-1")
+    assert store.fast.list_committed_checkpoints() == []
+    assert store.drain_metrics()["promoted_parts"] == 0
+    store.close()
+
+
+def test_promotion_failure_never_fails_the_read(tmp_path, monkeypatch):
+    """Promotion is opportunistic: a read-only/full fast tier degrades to
+    pure slow-tier restores instead of breaking them."""
+    store = _tiered(tmp_path)
+    _save(store, ["ckpt-1"])
+    store.wait_drained()
+    store.fast.delete_checkpoint("ckpt-1")
+
+    def broken(*_args, **_kwargs):
+        raise OSError("read-only file system")
+
+    monkeypatch.setattr(store.fast, "write_shard", broken)
+    restored = CheckpointLoader(store).load_all("ckpt-1")
+    assert 0 in restored
+    assert store.fast.list_committed_checkpoints() == []
+    assert store.drain_metrics()["promoted_checkpoints"] == 0
+    store.close()
+
+
+# ---------------------------------------------------------------------------
 # Cross-tier GC
 # ---------------------------------------------------------------------------
 
