@@ -29,7 +29,7 @@ from repro.core.lazy_snapshot import SnapshotJob
 from repro.io import FileStore, ObjectStore, TieredStore
 from repro.memory import PinnedHostPool
 from repro.model import NumpyTransformerLM, tiny_config
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 from repro.serialization import build_header
 from repro.tensor import flatten_state_dict
 from repro.training import RealTrainer
@@ -143,7 +143,7 @@ def test_real_restore_roundtrip_throughput(benchmark, emit, tmp_path):
         engine.shutdown()
         loader = CheckpointLoader(store)
         loader.validate("restore-bench")
-        return loader.load_rank("restore-bench", 0)
+        return loader.restore(RestoreSpec.of_rank(0, tag="restore-bench"))
 
     loaded = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
     np.testing.assert_array_equal(loaded["model"]["w"], state["model"]["w"])
@@ -420,7 +420,7 @@ def _measure_dedup_incremental(bench_dir, state, rounds=2):
             bytes_incremental = metrics["bytes_written"] - bytes_full
 
             if round_index == 0:
-                restored = engine.load("incr")
+                restored = engine.load(RestoreSpec(tag="incr"))
                 clean_name, dirty_name = sorted(state)[0], sorted(state)[-1]
                 np.testing.assert_array_equal(restored[clean_name],
                                               mutated[clean_name])
@@ -445,7 +445,7 @@ def _measure_restore(store, use_mmap, rounds):
     for _ in range(rounds):
         loader = CheckpointLoader(store, use_mmap=use_mmap)
         start = time.perf_counter()
-        states = loader.load_all("stall", validate=True)
+        states = loader.restore(RestoreSpec.full(tag="stall"))
         best = min(best, time.perf_counter() - start)
     return best, states
 
@@ -468,7 +468,7 @@ def _measure_prefetch_sweep(tmp_path, state, depths, rounds=3, shards_per_rank=8
                 loader = CheckpointLoader(store, use_mmap=use_mmap,
                                           prefetch_depth=depth)
                 start = time.perf_counter()
-                states = loader.load_all("stall", validate=True)
+                states = loader.restore(RestoreSpec.full(tag="stall"))
                 best = min(best, time.perf_counter() - start)
             row[f"{path_name}_seconds"] = best
             if reference is None:
@@ -477,6 +477,52 @@ def _measure_prefetch_sweep(tmp_path, state, depths, rounds=3, shards_per_rank=8
     np.testing.assert_array_equal(reference[0]["t1"], state["t1"])
     store.delete_checkpoint("stall")
     return sweep
+
+
+def _measure_reshape_restore(bench_dir, state, rounds=3):
+    """Elastic reshape restore vs a plain full restore of the same bytes.
+
+    The state is saved as an elastic checkpoint at dp2xtp2 and restored
+    re-partitioned onto dp4xtp1 through ``RestoreSpec.reshaped`` (load every
+    source rank + merge at the saved grid + re-split); best of ``rounds``.
+    The plain ``RestoreSpec.full`` restore of the same checkpoint is timed
+    alongside so the sweep shows the reshaping overhead, not just disk speed.
+    """
+    from repro.restart import (elastic_topology, merge_full_state,
+                               save_elastic_checkpoint)
+
+    axes = {key: 0 for key in state}
+    source = elastic_topology(state, data_parallel=2, tensor_parallel=2,
+                              axes=axes)
+    target = elastic_topology(state, data_parallel=4, tensor_parallel=1,
+                              axes=axes)
+    store = FileStore(bench_dir / "reshape")
+    start = time.perf_counter()
+    save_elastic_checkpoint(store, {"model": dict(state)}, source,
+                            tag="reshape")
+    save_seconds = time.perf_counter() - start
+    loader = CheckpointLoader(store)
+    plain = float("inf")
+    reshaped_best = float("inf")
+    reshaped = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        loader.restore(RestoreSpec.full(tag="reshape"))
+        plain = min(plain, time.perf_counter() - start)
+        start = time.perf_counter()
+        reshaped = loader.restore(
+            RestoreSpec.full(tag="reshape").reshaped(target))
+        reshaped_best = min(reshaped_best, time.perf_counter() - start)
+    merged = merge_full_state(reshaped, target)
+    np.testing.assert_array_equal(merged["model"]["t0"], state["t0"])
+    store.delete_checkpoint("reshape")
+    return {
+        "source": source.describe(),
+        "target": target.describe(),
+        "elastic_save_seconds": save_seconds,
+        "plain_restore_seconds": plain,
+        "reshaped_restore_seconds": reshaped_best,
+    }
 
 
 def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
@@ -536,6 +582,10 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
         # Content-addressed store: bytes moved by a full save into a cold
         # chunk pool vs an incremental save with half the tensors mutated.
         dedup_sweep = _measure_dedup_incremental(bench_dir, state)
+
+        # Elastic restart: restore re-partitioned onto a different grid vs a
+        # plain full restore of the same checkpoint.
+        reshape_restore = _measure_reshape_restore(bench_dir, state)
         return {
             "shard_bytes": nbytes,
             "cpu_count": os.cpu_count(),
@@ -545,6 +595,7 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
             "restore_prefetch_sweep": prefetch_sweep,
             "tiered_drain_sweep": drain_sweep,
             "dedup_incremental_sweep": dedup_sweep,
+            "reshape_restore": reshape_restore,
             "flush": flush,
             "restore": {
                 "read_seconds": read_s,
@@ -627,6 +678,19 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
         "MB/s": round(dedup["bytes_incremental"]
                       / dedup["incremental_save_seconds"] / 1e6, 1),
         "seconds": round(dedup["incremental_save_seconds"], 4),
+    })
+    reshape = results["reshape_restore"]
+    rows.append({
+        "path": f"restore full ({reshape['source']}, elastic)",
+        "MB/s": round(results["shard_bytes"]
+                      / reshape["plain_restore_seconds"] / 1e6, 1),
+        "seconds": round(reshape["plain_restore_seconds"], 4),
+    })
+    rows.append({
+        "path": f"restore reshaped ({reshape['source']} -> {reshape['target']})",
+        "MB/s": round(results["shard_bytes"]
+                      / reshape["reshaped_restore_seconds"] / 1e6, 1),
+        "seconds": round(reshape["reshaped_restore_seconds"], 4),
     })
     emit("io_fastpath", format_table(
         rows, title=f"I/O fast path vs legacy ({results['shard_bytes'] / 1e6:.0f} MB shard, "

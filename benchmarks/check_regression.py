@@ -114,6 +114,10 @@ def _fastpath_metrics(data: Dict) -> Iterator[Tuple[str, float]]:
         value = data.get("dedup_incremental_sweep", {}).get(key)
         if value is not None:
             yield f"dedup_incremental_sweep.{key}", float(value)
+    for key in ("plain_restore_seconds", "reshaped_restore_seconds"):
+        value = data.get("reshape_restore", {}).get(key)
+        if value is not None:
+            yield f"reshape_restore.{key}", float(value)
 
 
 def check_io_fastpath(baseline: Dict, fresh: Dict, threshold: float,

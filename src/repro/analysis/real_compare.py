@@ -18,6 +18,7 @@ from ..config import CheckpointPolicy
 from ..core import ENGINE_LABELS, ENGINE_NAMES, canonical_engine_name, create_real_engine
 from ..io import canonical_store_name, create_store
 from ..model import NumpyTransformerLM, tiny_config
+from ..restart import RestoreSpec
 from ..training import RealTrainer
 
 
@@ -87,7 +88,7 @@ def run_real_engine(
         restore_seconds = None
         if committed:
             start = time.perf_counter()
-            engine.load(committed[-1])
+            engine.load(RestoreSpec(tag=committed[-1]))
             restore_seconds = time.perf_counter() - start
     # Tiered stores: wait out the background drain so the row reports a
     # settled pipeline (how much the slow tier lagged the training loop).

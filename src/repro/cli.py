@@ -9,12 +9,23 @@ Subcommands
 ``compare-real``  run the real trainer under all four engines; print blocked-time table
 ``replay``        replay a failure trace against engine × store configs; print
                   per-config goodput / lost-work / restart-latency table
+``list``          list the committed checkpoints in a store (tag, iteration,
+                  bytes, saved parallel topology)
+``reshape``       re-partition a committed checkpoint onto a new
+                  (dp, pp, tp) topology offline (elastic restart)
 
 ``simulate``/``figure``/``zoo`` are thin wrappers over
 :mod:`repro.training.runtime` and :mod:`repro.analysis.figures`; ``train`` and
 ``compare-real`` drive the real-mode pipeline through the engine registry
 (:func:`repro.core.create_real_engine`); ``replay`` combines
-:class:`repro.simulator.FailureTrace` with :func:`repro.analysis.replay_trace`.
+:class:`repro.simulator.FailureTrace` with :func:`repro.analysis.replay_trace`;
+``list``/``reshape`` sit on :mod:`repro.restart`
+(:class:`~repro.restart.CheckpointLoader` /
+:func:`~repro.restart.reshape_checkpoint`).
+
+``train``, ``compare-real``, ``list``, and ``reshape`` all share one store
+argument group (``--store``, tier/chunk-pool composition flags,
+``--prefetch-depth``) defined once as an argparse parent parser.
 """
 
 from __future__ import annotations
@@ -134,10 +145,73 @@ def _store_or_all(value: str) -> str:
     return _store_name(value)
 
 
+def _store_parent() -> argparse.ArgumentParser:
+    """Parent parser carrying the shard-store argument group.
+
+    Defined once and attached via ``parents=[...]`` to every subcommand that
+    opens a store (``train``, ``compare-real``, ``list``, ``reshape``), so a
+    new store-touching subcommand gets the full backend/composition/restore
+    surface — and any new store flag reaches all of them — for free.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("shard store")
+    group.add_argument("--store", type=_store_name,
+                       default="file", metavar="|".join(STORE_NAMES),
+                       help="shard store backend: 'file' (POSIX directory), "
+                            "'object' (in-memory S3-like, one part per key), "
+                            "'tiered' (fast tier + async drain to a slow "
+                            "tier), 'cas' (content-addressed chunks with "
+                            "namespaces + dedup), or any register_store() "
+                            "name")
+    group.add_argument("--fast-store", type=_store_name, default="file",
+                       metavar="NAME",
+                       help="tiered only: backend of the fast tier "
+                            "(default: file)")
+    group.add_argument("--slow-store", type=_store_name, default="object",
+                       metavar="NAME",
+                       help="tiered only: backend of the slow tier "
+                            "(default: object)")
+    group.add_argument("--drain-workers", type=_positive_int, default=None,
+                       help="tiered only: background workers draining "
+                            "committed checkpoints to the slow tier "
+                            "(default: policy default)")
+    group.add_argument("--keep-local-latest", type=_watermark, default=None,
+                       help="tiered only: newest replicated checkpoints "
+                            "kept on the fast tier; older ones are evicted "
+                            "(-1 disables eviction; default: policy default)")
+    group.add_argument("--drain-retries", type=_nonneg_int, default=None,
+                       help="tiered only: retries per drain on transient "
+                            "slow-tier failures, with exponential backoff "
+                            "(0 disables; default: policy default)")
+    group.add_argument("--drain-backoff", type=_nonneg_float, default=None,
+                       help="tiered only: base backoff seconds between "
+                            "drain retries (attempt k sleeps backoff*2^k; "
+                            "default: policy default)")
+    group.add_argument("--inner-store", type=_store_name, default="file",
+                       metavar="NAME",
+                       help="cas only: backend holding the shared chunk "
+                            "pool (default: file)")
+    group.add_argument("--namespace", default=None, metavar="JOB",
+                       help="cas only: job namespace scoping tags, "
+                            "manifests, and quotas over the shared chunk "
+                            "pool (default: 'default')")
+    group.add_argument("--incremental", action="store_true",
+                       help="cas only: incremental checkpoints — unchanged "
+                            "shards are recorded by reference to the "
+                            "previous committed checkpoint, only changed "
+                            "chunks are uploaded")
+    group.add_argument("--prefetch-depth", type=int, default=None,
+                       help="restore-side prefetch workers fetching+validating "
+                            "shard parts ahead of deserialization "
+                            "(0 disables; default: policy default)")
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
+    store_parent = _store_parent()
 
     def add_layout_args(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--shards-per-rank", type=int, default=1,
@@ -168,76 +242,74 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("zoo", help="print the Table 1 model zoo")
 
     def add_real_args(cmd: argparse.ArgumentParser) -> None:
+        # Store flags come from the shared parent parser (_store_parent);
+        # only the trainer-shape knobs live here.
         cmd.add_argument("--iterations", type=int, default=4)
         cmd.add_argument("--checkpoint-interval", type=int, default=1)
         cmd.add_argument("--hidden-size", type=int, default=128)
         cmd.add_argument("--layers", type=int, default=2)
         cmd.add_argument("--workdir", default=None,
                          help="checkpoint directory (default: a fresh temp dir)")
-        cmd.add_argument("--store", type=_store_name,
-                         default="file", metavar="|".join(STORE_NAMES),
-                         help="shard store backend: 'file' (POSIX directory), "
-                              "'object' (in-memory S3-like, one part per key), "
-                              "'tiered' (fast tier + async drain to a slow "
-                              "tier), 'cas' (content-addressed chunks with "
-                              "namespaces + dedup), or any register_store() "
-                              "name")
-        cmd.add_argument("--fast-store", type=_store_name, default="file",
-                         metavar="NAME",
-                         help="tiered only: backend of the fast tier "
-                              "(default: file)")
-        cmd.add_argument("--slow-store", type=_store_name, default="object",
-                         metavar="NAME",
-                         help="tiered only: backend of the slow tier "
-                              "(default: object)")
-        cmd.add_argument("--drain-workers", type=_positive_int, default=None,
-                         help="tiered only: background workers draining "
-                              "committed checkpoints to the slow tier "
-                              "(default: policy default)")
-        cmd.add_argument("--keep-local-latest", type=_watermark, default=None,
-                         help="tiered only: newest replicated checkpoints "
-                              "kept on the fast tier; older ones are evicted "
-                              "(-1 disables eviction; default: policy default)")
-        cmd.add_argument("--drain-retries", type=_nonneg_int, default=None,
-                         help="tiered only: retries per drain on transient "
-                              "slow-tier failures, with exponential backoff "
-                              "(0 disables; default: policy default)")
-        cmd.add_argument("--drain-backoff", type=_nonneg_float, default=None,
-                         help="tiered only: base backoff seconds between "
-                              "drain retries (attempt k sleeps backoff*2^k; "
-                              "default: policy default)")
-        cmd.add_argument("--inner-store", type=_store_name, default="file",
-                         metavar="NAME",
-                         help="cas only: backend holding the shared chunk "
-                              "pool (default: file)")
-        cmd.add_argument("--namespace", default=None, metavar="JOB",
-                         help="cas only: job namespace scoping tags, "
-                              "manifests, and quotas over the shared chunk "
-                              "pool (default: 'default')")
-        cmd.add_argument("--incremental", action="store_true",
-                         help="cas only: incremental checkpoints — unchanged "
-                              "shards are recorded by reference to the "
-                              "previous committed checkpoint, only changed "
-                              "chunks are uploaded")
-        cmd.add_argument("--prefetch-depth", type=int, default=None,
-                         help="restore-side prefetch workers fetching+validating "
-                              "shard parts ahead of deserialization "
-                              "(0 disables; default: policy default)")
         add_layout_args(cmd)
 
     train = sub.add_parser(
-        "train", help="train the real NumPy transformer under one engine")
+        "train", help="train the real NumPy transformer under one engine",
+        parents=[store_parent])
     train.add_argument("--engine", type=_engine_name,
                        default="datastates", metavar="|".join(ENGINE_NAMES))
     add_real_args(train)
 
     compare = sub.add_parser(
         "compare-real",
-        help="run the real trainer under all four engines and compare stalls")
+        help="run the real trainer under all four engines and compare stalls",
+        parents=[store_parent])
     compare.add_argument("--engines", nargs="*", type=_engine_name,
                          default=None, metavar="|".join(ENGINE_NAMES),
                          help="subset of engines (default: all four)")
     add_real_args(compare)
+
+    listing = sub.add_parser(
+        "list", help="list committed checkpoints in a store",
+        parents=[store_parent])
+    listing.add_argument("--workdir", required=True,
+                         help="checkpoint directory (the store root)")
+
+    reshape = sub.add_parser(
+        "reshape",
+        help="re-partition a committed checkpoint onto a new (dp, pp, tp) "
+             "topology offline",
+        parents=[store_parent])
+    reshape.add_argument("--workdir", required=True,
+                         help="source checkpoint directory (the store root)")
+    reshape.add_argument("--tag", default=None,
+                         help="source checkpoint tag "
+                              "(default: latest committed)")
+    reshape.add_argument("--target-dp", type=_positive_int, required=True,
+                         help="target data-parallel degree")
+    reshape.add_argument("--target-pp", type=_positive_int, default=1,
+                         help="target pipeline-parallel degree (default: 1)")
+    reshape.add_argument("--target-tp", type=_positive_int, default=1,
+                         help="target tensor-parallel degree (default: 1)")
+    reshape.add_argument("--target-shards-per-rank", type=_positive_int,
+                         default=1,
+                         help="shards per rank of the reshaped checkpoint "
+                              "(default: 1)")
+    reshape.add_argument("--out", default=None, metavar="DIR",
+                         help="destination directory (default: write the "
+                              "reshaped checkpoint into the source store)")
+    reshape.add_argument("--out-store", type=_store_name, default=None,
+                         metavar="NAME",
+                         help="destination store backend (needs --out; "
+                              "default: same backend as --store)")
+    reshape.add_argument("--out-tag", default=None,
+                         help="tag of the reshaped checkpoint "
+                              "(default: '<tag>-<topology>')")
+    reshape.add_argument("--engine", type=_engine_name, default="deepspeed",
+                         metavar="|".join(ENGINE_NAMES),
+                         help="engine used to write the reshaped checkpoint "
+                              "(default: deepspeed)")
+    reshape.add_argument("--no-validate", action="store_true",
+                         help="skip checksum validation of the source shards")
 
     replay = sub.add_parser(
         "replay",
@@ -448,6 +520,71 @@ def _cmd_compare_real(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace, workdir: str):
+    from pathlib import Path
+
+    from .io import create_store
+
+    return create_store(args.store, root=Path(workdir),
+                        **(_store_kwargs(args) or {}))
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .restart import CheckpointLoader
+
+    loader = CheckpointLoader(_open_store(args, args.workdir))
+    infos = loader.committed_checkpoints()
+    if not infos:
+        print(f"no committed checkpoints in {args.workdir}")
+        return 0
+    rows = [
+        {
+            "tag": info.tag,
+            "iteration": info.iteration,
+            "world": info.world_size,
+            "shards": info.num_shards,
+            "MiB": round(info.total_bytes / 2**20, 3),
+            # Pre-v4 checkpoints carry no saved layout; '-' (not an error)
+            # keeps old stores listable.
+            "topology": info.topology.describe() if info.topology else "-",
+            "schema": f"v{info.version}",
+        }
+        for info in infos
+    ]
+    print(format_table(rows, title=f"Committed checkpoints — {args.workdir}"))
+    return 0
+
+
+def _cmd_reshape(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .io import create_store
+    from .restart import reshape_checkpoint
+    from .serialization import CheckpointTopology
+
+    if args.out is None and args.out_store is not None:
+        raise SystemExit("--out-store needs --out (a destination directory)")
+    source_store = _open_store(args, args.workdir)
+    dest_store = None
+    if args.out is not None:
+        dest_store = create_store(args.out_store or args.store,
+                                  root=Path(args.out))
+    target = CheckpointTopology(
+        data_parallel=args.target_dp,
+        pipeline_parallel=args.target_pp,
+        tensor_parallel=args.target_tp,
+        shards_per_rank=args.target_shards_per_rank,
+    )
+    report = reshape_checkpoint(
+        source_store, target,
+        tag=args.tag, dest_store=dest_store, out_tag=args.out_tag,
+        engine=args.engine, validate=not args.no_validate,
+        prefetch_depth=args.prefetch_depth,
+    )
+    print(report.summary())
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .analysis import replay_table_rows, replay_trace
     from .simulator import FailureTrace
@@ -493,6 +630,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare_real(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "reshape":
+        return _cmd_reshape(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -31,7 +31,7 @@ from ..config import CheckpointPolicy
 from ..exceptions import CheckpointError
 from ..io import ShardStore
 from ..logging_utils import get_logger
-from ..serialization import ShardPlan, build_header
+from ..serialization import CheckpointTopology, ShardPlan, build_header
 from ..tensor import flatten_state_dict, tensor_payload_array
 from .base_engine import CheckpointEngine, IncrementalPlan
 from .consolidation import TwoPhaseCommitCoordinator
@@ -87,10 +87,11 @@ class AsyncCheckpointEngine(CheckpointEngine):
     def __init__(self, store: ShardStore, rank: int = 0, world_size: int = 1,
                  coordinator: Optional[TwoPhaseCommitCoordinator] = None,
                  policy: Optional[CheckpointPolicy] = None,
-                 host_buffer_size: Optional[int] = None) -> None:
+                 host_buffer_size: Optional[int] = None,
+                 topology: Optional[CheckpointTopology] = None) -> None:
         super().__init__(store, rank=rank, world_size=world_size,
                          coordinator=coordinator, policy=policy,
-                         host_buffer_size=host_buffer_size)
+                         host_buffer_size=host_buffer_size, topology=topology)
         #: Outstanding (or failed) requests; successfully retired handles are
         #: pruned on the next save so a long run does not accumulate history.
         self._handles: List[AsyncCheckpointHandle] = []

@@ -29,10 +29,16 @@ extra call the paper adds):
     Drain everything: captures, flushes, and the commit protocol for every
     tag this rank initiated.  Called after the final save of a run.
 
-``load(tag, shard_name=None)``
-    Restore this rank's state from a committed checkpoint.  Routed through
-    :class:`~repro.restart.CheckpointLoader`, so every engine shares one
-    validated (size + CRC32, optionally mmap) restore path.
+``load(spec=None)``
+    Restore from a committed checkpoint, described by a
+    :class:`~repro.restart.RestoreSpec` (tag + rank/shard selector +
+    optional target topology + validate/materialize/prefetch options).
+    With no spec the engine restores its own shard of the latest committed
+    checkpoint.  Routed through
+    :class:`~repro.restart.CheckpointLoader.restore`, so every engine
+    shares one validated (size + CRC32, optionally mmap) restore path.
+    The legacy ``load(tag, shard_name)`` string form still works but emits
+    a ``DeprecationWarning``.
 
 ``list_checkpoints() / latest_checkpoint()``
     Discovery of committed checkpoints.
@@ -46,10 +52,12 @@ extra call the paper adds):
 from __future__ import annotations
 
 import abc
+import dataclasses
 import threading
+import warnings
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import CheckpointPolicy
 from ..exceptions import CheckpointError
@@ -57,6 +65,7 @@ from ..io import ShardStore, supports_shard_reference
 from ..logging_utils import get_logger
 from ..serialization import (
     CheckpointManifest,
+    CheckpointTopology,
     ShardHeader,
     ShardPart,
     ShardPlan,
@@ -70,6 +79,9 @@ from ..serialization import (
 from ..tensor import FlattenedState
 from .consolidation import TwoPhaseCommitCoordinator
 from .flush_pipeline import FlushResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (restart imports core)
+    from ..restart import RestoreSpec
 
 logger = get_logger(__name__)
 
@@ -143,12 +155,18 @@ class CheckpointEngine(abc.ABC):
         coordinator: Optional[TwoPhaseCommitCoordinator] = None,
         policy: Optional[CheckpointPolicy] = None,
         host_buffer_size: Optional[int] = None,
+        topology: Optional[CheckpointTopology] = None,
     ) -> None:
         if not (0 <= rank < world_size):
             raise CheckpointError(f"rank {rank} outside world of size {world_size}")
+        if topology is not None and topology.world_size != world_size:
+            raise CheckpointError(
+                f"topology {topology.describe()} spans {topology.world_size} "
+                f"ranks but the engine's world size is {world_size}")
         self.store = store
         self.rank = rank
         self.world_size = world_size
+        self.topology = topology
         resolved = policy or CheckpointPolicy(
             host_buffer_size=host_buffer_size or DEFAULT_HOST_BUFFER_SIZE
         )
@@ -157,7 +175,18 @@ class CheckpointEngine(abc.ABC):
             # simultaneously-passed policy.
             resolved = resolved.with_overrides(host_buffer_size=host_buffer_size)
         self.policy = resolved
-        self.coordinator = coordinator or TwoPhaseCommitCoordinator(world_size, store)
+        if coordinator is None:
+            coordinator = TwoPhaseCommitCoordinator(world_size, store, topology=topology)
+        elif topology is not None:
+            # A shared coordinator is the authority on the save-time layout:
+            # adopt ours if it has none, otherwise all ranks must agree.
+            if coordinator.topology is None:
+                coordinator.topology = topology
+            elif coordinator.topology != topology:
+                raise CheckpointError(
+                    f"engine topology {topology.describe()} conflicts with the "
+                    f"shared coordinator's {coordinator.topology.describe()}")
+        self.coordinator = coordinator
         self._lock = threading.Lock()
         self._closed = False
         self._checkpoints_requested = 0
@@ -192,21 +221,51 @@ class CheckpointEngine(abc.ABC):
         """
 
     # ------------------------------------------------------------------ load
-    def load(self, tag: str, shard_name: Optional[str] = None) -> Any:
-        """Load this rank's state from a committed checkpoint.
+    def load(self, spec: Union["RestoreSpec", str, None] = None,
+             shard_name: Optional[str] = None) -> Any:
+        """Restore from a committed checkpoint per ``spec``.
 
         Every engine restores through the same
-        :class:`~repro.restart.CheckpointLoader` path: the shard is validated
-        against the manifest (size + CRC32), fetched through the prefetching
-        pipeline (``policy.prefetch_depth`` bounded workers) and, with
-        ``policy.mmap_restore`` on a store that can map, rebuilt straight out
-        of a read-only memory map.
-        """
-        from ..restart import CheckpointLoader
+        :meth:`~repro.restart.CheckpointLoader.restore` path: shards are
+        validated against the manifest (size + CRC32), fetched through the
+        prefetching pipeline (``policy.prefetch_depth`` bounded workers) and,
+        with ``policy.mmap_restore`` on a store that can map, rebuilt
+        straight out of a read-only memory map.
 
+        When the spec names no rank/shard selector the engine fills in its
+        own: this rank's default shard, or — for a reshaping restore
+        (``spec.target_topology``) — this rank's slice of the target layout.
+        ``load()`` with no arguments restores the engine's shard of the
+        latest committed checkpoint.
+
+        The legacy ``load(tag, shard_name)`` string form delegates here and
+        emits a ``DeprecationWarning``.
+        """
+        from ..restart import CheckpointLoader, RestoreSpec
+
+        if spec is None and shard_name is None:
+            resolved = RestoreSpec()
+        elif isinstance(spec, RestoreSpec):
+            if shard_name is not None:
+                raise CheckpointError(
+                    "pass the shard selector inside the RestoreSpec, not as "
+                    "a separate shard_name argument")
+            resolved = spec
+        else:
+            warnings.warn(
+                "engine.load(tag, shard_name) is deprecated; pass a "
+                "RestoreSpec, e.g. engine.load(RestoreSpec.of_shard(name, tag=tag))",
+                DeprecationWarning, stacklevel=2)
+            resolved = RestoreSpec(tag=spec, shard=shard_name)
+        if resolved.selects_everything:
+            if resolved.target_topology is not None:
+                resolved = dataclasses.replace(resolved, rank=self.rank)
+            else:
+                resolved = dataclasses.replace(
+                    resolved, shard=self.default_shard_name())
         loader = CheckpointLoader(self.store, use_mmap=self.policy.mmap_restore,
                                   prefetch_depth=self.policy.prefetch_depth)
-        return loader.load_shard(tag, shard_name or self.default_shard_name())
+        return loader.restore(resolved)
 
     def list_checkpoints(self) -> List[str]:
         """Tags of committed checkpoints, oldest first."""

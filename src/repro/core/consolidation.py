@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 from ..exceptions import ConsistencyError
 from ..io import ShardStore
 from ..logging_utils import get_logger
-from ..serialization import CheckpointManifest, ShardRecord
+from ..serialization import CheckpointManifest, CheckpointTopology, ShardRecord
 
 logger = get_logger(__name__)
 
@@ -45,11 +45,20 @@ class _PendingCommit:
 class TwoPhaseCommitCoordinator:
     """Collects per-rank votes and publishes the manifest when all have arrived."""
 
-    def __init__(self, world_size: int, store: ShardStore) -> None:
+    def __init__(self, world_size: int, store: ShardStore,
+                 topology: Optional[CheckpointTopology] = None) -> None:
         if world_size <= 0:
             raise ConsistencyError("world_size must be positive")
+        if topology is not None and topology.world_size != world_size:
+            raise ConsistencyError(
+                f"topology {topology.describe()} spans {topology.world_size} "
+                f"ranks but the coordinator's world size is {world_size}")
         self.world_size = world_size
         self.store = store
+        #: Save-time parallel layout stamped into every manifest this
+        #: coordinator publishes (manifest schema v4); ``None`` keeps the
+        #: earlier, topology-less manifests byte-identical.
+        self.topology = topology
         self._lock = threading.Lock()
         self._pending: Dict[str, _PendingCommit] = {}
 
@@ -83,7 +92,8 @@ class TwoPhaseCommitCoordinator:
             if pending.failed is not None or pending.committed.is_set():
                 return
             manifest = CheckpointManifest(
-                tag=tag, world_size=self.world_size, iteration=pending.iteration
+                tag=tag, world_size=self.world_size, iteration=pending.iteration,
+                topology=self.topology,
             )
             for rank in sorted(pending.votes):
                 for record in pending.votes[rank]:

@@ -33,6 +33,7 @@ from ..config import CheckpointPolicy
 from ..io import ShardStore
 from ..logging_utils import get_logger
 from ..memory import PinnedHostPool
+from ..serialization import CheckpointTopology
 from ..tensor import flatten_state_dict
 from ..exceptions import CheckpointError
 from .base_engine import CheckpointEngine
@@ -112,10 +113,11 @@ class DataStatesCheckpointEngine(CheckpointEngine):
         coordinator: Optional[TwoPhaseCommitCoordinator] = None,
         policy: Optional[CheckpointPolicy] = None,
         host_buffer_size: Optional[int] = None,
+        topology: Optional[CheckpointTopology] = None,
     ) -> None:
         super().__init__(store, rank=rank, world_size=world_size,
                          coordinator=coordinator, policy=policy,
-                         host_buffer_size=host_buffer_size)
+                         host_buffer_size=host_buffer_size, topology=topology)
         self.pool = PinnedHostPool(self.policy.host_buffer_size)
         #: ``policy.capture_streams`` concurrent snapshot workers; shard-set
         #: parts are dealt round-robin across them so several device-to-host

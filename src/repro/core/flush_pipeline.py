@@ -64,7 +64,9 @@ class ParallelShardWrite:
         self.header = header
         self.preamble = preamble
         self.payload_start = len(preamble)
-        self._index_by_offset = {entry.offset: i for i, entry in enumerate(header.entries)}
+        # Keyed by tensor key, not offset: zero-length tensors (legal under
+        # uneven ZeRO partitions) share their offset with the next entry.
+        self._index_by_key = {entry.key: i for i, entry in enumerate(header.entries)}
         self._state_lock = threading.Lock()
         self._tensor_crcs: List[Optional[int]] = [None] * len(header.entries)
         self._errors: List[BaseException] = []
@@ -115,7 +117,7 @@ class ParallelShardWrite:
                     self.writer.pwrite(self.payload_start + entry.offset, view)
                     crc = zlib.crc32(view) & 0xFFFFFFFF
                 with self._state_lock:
-                    self._tensor_crcs[self._index_by_offset[entry.offset]] = crc
+                    self._tensor_crcs[self._index_by_key[entry.key]] = crc
             except BaseException as exc:  # noqa: BLE001 - surfaced via first_error
                 self._record_error(exc)
             finally:

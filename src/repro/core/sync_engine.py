@@ -24,7 +24,7 @@ from typing import Any, Optional
 from ..config import CheckpointPolicy
 from ..exceptions import CheckpointError
 from ..io import ShardStore
-from ..serialization import checksum_bytes, serialize_part
+from ..serialization import CheckpointTopology, checksum_bytes, serialize_part
 from ..tensor import flatten_state_dict
 from .base_engine import CheckpointEngine, CompletedCheckpointHandle
 from .consolidation import TwoPhaseCommitCoordinator
@@ -40,12 +40,13 @@ class SynchronousCheckpointEngine(CheckpointEngine):
                  coordinator: Optional[TwoPhaseCommitCoordinator] = None,
                  policy: Optional[CheckpointPolicy] = None,
                  host_buffer_size: Optional[int] = None,
-                 commit_timeout: Optional[float] = None) -> None:
+                 commit_timeout: Optional[float] = None,
+                 topology: Optional[CheckpointTopology] = None) -> None:
         # host_buffer_size is accepted (and ignored beyond policy resolution)
         # so every engine shares the factory's uniform construction signature.
         super().__init__(store, rank=rank, world_size=world_size,
                          coordinator=coordinator, policy=policy,
-                         host_buffer_size=host_buffer_size)
+                         host_buffer_size=host_buffer_size, topology=topology)
         #: Upper bound on how long ``save`` waits for the collective commit
         #: (``None`` = wait forever, matching a blocking collective).
         self.commit_timeout = commit_timeout

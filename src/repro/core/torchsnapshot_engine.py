@@ -20,7 +20,7 @@ from typing import Any, Optional
 from ..config import CheckpointPolicy
 from ..exceptions import CheckpointError
 from ..io import FlushWorkerPool, ShardStore, supports_shard_writer
-from ..serialization import encode_preamble, iter_part_payloads
+from ..serialization import CheckpointTopology, encode_preamble, iter_part_payloads
 from ..tensor import flatten_state_dict
 from .base_engine import CheckpointEngine, CompletedCheckpointHandle
 from .consolidation import TwoPhaseCommitCoordinator
@@ -36,14 +36,15 @@ class TorchSnapshotCheckpointEngine(CheckpointEngine):
                  coordinator: Optional[TwoPhaseCommitCoordinator] = None,
                  policy: Optional[CheckpointPolicy] = None,
                  host_buffer_size: Optional[int] = None,
-                 commit_timeout: Optional[float] = None) -> None:
+                 commit_timeout: Optional[float] = None,
+                 topology: Optional[CheckpointTopology] = None) -> None:
         if policy is None:
             # The paper's TorchSnapshot configuration runs 4 flush threads.
             policy = CheckpointPolicy(host_buffer_size=host_buffer_size or 256 << 20,
                                       flush_threads=4)
         super().__init__(store, rank=rank, world_size=world_size,
                          coordinator=coordinator, policy=policy,
-                         host_buffer_size=host_buffer_size)
+                         host_buffer_size=host_buffer_size, topology=topology)
         self.commit_timeout = commit_timeout
         self._writers = FlushWorkerPool(num_workers=self.policy.flush_threads,
                                         name=f"ts-write-r{rank}")

@@ -104,6 +104,12 @@ class PinnedHostPool:
             raise AllocationError(
                 f"allocation of {size} bytes can never fit pool of {self.capacity} bytes"
             )
+        if size == 0:
+            # Zero-length tensors are legal (an uneven ZeRO partition can own
+            # an empty slice); hand out an empty view without touching the
+            # ring — blocking on space can never satisfy a 0-byte request.
+            return HostAllocation(segment=Segment(ticket=-1, offset=0, size=0),
+                                  view=memoryview(self._backing)[0:0])
         with self._lock:
             while True:
                 if self._closed:
@@ -126,6 +132,8 @@ class PinnedHostPool:
 
     def free(self, allocation: HostAllocation) -> None:
         """Return an allocation to the pool and wake any blocked producers."""
+        if allocation.segment.size == 0:
+            return
         with self._lock:
             self._manager.free(allocation.segment)
             self._space_freed.notify_all()

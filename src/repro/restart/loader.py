@@ -16,24 +16,31 @@ default) copies each array out of the map one tensor at a time so the result
 is writable and the map can be released; ``materialize=False`` hands back
 zero-copy read-only views that keep the map alive.
 
+Restores are described by a :class:`~repro.restart.RestoreSpec` and executed
+by :meth:`CheckpointLoader.restore` — one entry point covering a single shard,
+one rank, every rank, and (with ``spec.target_topology``) an elastic restore
+into a different parallel layout.  The legacy ``load_shard`` / ``load_rank`` /
+``load_all`` methods delegate through it and emit ``DeprecationWarning``.
+
 Restores are **prefetched**: a bounded-worker stage (``prefetch_depth``
 workers, surfaced as :attr:`repro.config.CheckpointPolicy.prefetch_depth` and
 the CLI ``--prefetch-depth`` flag) fetches and CRC-validates shard parts
-ahead of deserialization, so :meth:`CheckpointLoader.load_rank` overlaps I/O
-with reassembly across a multi-shard set and :meth:`CheckpointLoader.load_all`
-additionally overlaps across ranks — while rank N's state is being rebuilt,
-rank N+1's parts are already being fetched and checksummed.
-``prefetch_depth=0`` disables the pipeline (strictly serial
-fetch -> validate -> deserialize).
+ahead of deserialization, so a one-rank restore overlaps I/O with reassembly
+across a multi-shard set and an all-ranks restore additionally overlaps
+across ranks — while rank N's state is being rebuilt, rank N+1's parts are
+already being fetched and checksummed.  ``prefetch_depth=0`` disables the
+pipeline (strictly serial fetch -> validate -> deserialize).
 
 Validation and loading happen in one pass over each shard —
-``load_all(validate=True)`` never reads a shard twice, and
-``load_all(validate=False)`` skips the per-shard size/CRC checks entirely
-(manifest completeness is still enforced).
+``restore(spec)`` with ``validate=True`` never reads a shard twice, and
+``validate=False`` skips the per-shard size/CRC checks entirely (manifest
+completeness is still enforced).
 """
 
 from __future__ import annotations
 
+import copy
+import warnings
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -45,12 +52,14 @@ from ..io import MappedShard, ShardStore, supports_mmap, supports_ranged_reads
 from ..logging_utils import get_logger
 from ..serialization import (
     CheckpointManifest,
+    CheckpointTopology,
     ShardRecord,
     checksum_stream,
     decode_preamble,
     deserialize_rank_state,
     deserialize_state,
 )
+from .spec import RestoreSpec
 
 logger = get_logger(__name__)
 
@@ -74,6 +83,11 @@ class CheckpointInfo:
     world_size: int
     total_bytes: int
     num_shards: int
+    #: Save-time parallel layout (manifest schema v4); ``None`` for
+    #: checkpoints written before topology stamping.
+    topology: Optional[CheckpointTopology] = None
+    #: Manifest schema version the checkpoint was written with.
+    version: int = 1
 
 
 class CheckpointLoader:
@@ -113,6 +127,8 @@ class CheckpointLoader:
                     world_size=manifest.world_size,
                     total_bytes=manifest.total_bytes,
                     num_shards=len(manifest.shards),
+                    topology=manifest.topology,
+                    version=manifest.version,
                 )
             )
         infos.sort(key=lambda info: (info.iteration, info.tag))
@@ -366,16 +382,103 @@ class CheckpointLoader:
         return buffers
 
     # -- loading ----------------------------------------------------------------------
+    def restore(self, spec: Optional[RestoreSpec] = None) -> Any:
+        """Execute one restore request — the single restore entry point.
+
+        ``spec`` describes the checkpoint (``tag``, defaulting to the latest
+        committed), the slice (``rank`` / ``shard`` / ``all_ranks``; a bare
+        loader with no selector restores all ranks), an optional
+        ``target_topology`` for an elastic (reshaping) restore, and per-call
+        overrides of the loader's validate/materialize/mmap/prefetch
+        defaults.  :meth:`repro.core.CheckpointEngine.load` routes through
+        here, so every engine's restores share one validation +
+        deserialization path.
+        """
+        spec = spec if spec is not None else RestoreSpec()
+        loader = self._with_options(spec)
+        tag = spec.tag if spec.tag is not None else loader._latest_tag()
+        if spec.target_topology is not None:
+            return loader._restore_reshaped(tag, spec)
+        if spec.shard is not None:
+            return loader._load_shard(tag, spec.shard, validate=spec.validate)
+        if spec.rank is not None:
+            return loader._load_rank(tag, spec.rank, validate=spec.validate)
+        return loader._load_all(tag, validate=spec.validate)
+
+    def _with_options(self, spec: RestoreSpec) -> "CheckpointLoader":
+        """A shallow clone with the spec's option overrides applied."""
+        if (spec.materialize is None and spec.use_mmap is None
+                and spec.prefetch_depth is None):
+            return self
+        clone = copy.copy(self)
+        if spec.materialize is not None:
+            clone.materialize = spec.materialize
+        if spec.use_mmap is not None:
+            clone.use_mmap = bool(spec.use_mmap and supports_mmap(self.store))
+        if spec.prefetch_depth is not None:
+            clone.prefetch_depth = spec.prefetch_depth
+        return clone
+
+    def _latest_tag(self) -> str:
+        """Tag of the latest committed checkpoint; loud when there is none."""
+        info = self.latest()
+        if info is None:
+            raise RestartError("no committed checkpoints to restore")
+        return info.tag
+
+    def _restore_reshaped(self, tag: str, spec: RestoreSpec) -> Any:
+        """Elastic restore: merge at the save-time topology, re-split at the
+        target, then apply the spec's rank selector (default: every rank)."""
+        from .reshape import reshape_state_dicts
+
+        manifest = self.manifest(tag)
+        if manifest.topology is None:
+            raise RestartError(
+                f"checkpoint {tag!r} carries no save-time topology block "
+                "(manifest schema < 4); it can only be restored into the "
+                "layout that saved it")
+        states = self._load_all(tag, validate=spec.validate)
+        reshaped = reshape_state_dicts(states, manifest.topology,
+                                       spec.target_topology)
+        if spec.rank is not None:
+            if spec.rank not in reshaped:
+                raise RestartError(
+                    f"rank {spec.rank} outside the target topology "
+                    f"{spec.target_topology.describe()}")
+            return reshaped[spec.rank]
+        return reshaped
+
     def load_shard(self, tag: str, shard_name: str) -> Any:
+        """Deprecated: use ``restore(RestoreSpec.of_shard(shard_name, tag=tag))``."""
+        warnings.warn(
+            "CheckpointLoader.load_shard is deprecated; use "
+            "restore(RestoreSpec.of_shard(shard_name, tag=tag))",
+            DeprecationWarning, stacklevel=2)
+        return self.restore(RestoreSpec.of_shard(shard_name, tag=tag))
+
+    def load_rank(self, tag: str, rank: int, validate: bool = True) -> Any:
+        """Deprecated: use ``restore(RestoreSpec.of_rank(rank, tag=tag))``."""
+        warnings.warn(
+            "CheckpointLoader.load_rank is deprecated; use "
+            "restore(RestoreSpec.of_rank(rank, tag=tag))",
+            DeprecationWarning, stacklevel=2)
+        return self.restore(RestoreSpec.of_rank(rank, tag=tag, validate=validate))
+
+    def load_all(self, tag: str, validate: bool = True) -> Dict[int, Any]:
+        """Deprecated: use ``restore(RestoreSpec.full(tag=tag))``."""
+        warnings.warn(
+            "CheckpointLoader.load_all is deprecated; use "
+            "restore(RestoreSpec.full(tag=tag))",
+            DeprecationWarning, stacklevel=2)
+        return self.restore(RestoreSpec.full(tag=tag, validate=validate))
+
+    def _load_shard(self, tag: str, shard_name: str, validate: bool = True) -> Any:
         """Load one logical shard by name, validated against the manifest.
 
         ``shard_name`` may be a shard file's name (v1 layout) or the *group*
         name of a rank's multi-shard set (e.g. ``rank0`` when the files are
         ``rank0-s00`` ... ``rank0-s03``) — the set is then validated and
-        reassembled into the rank's state.  This is the restore half of the
-        engine protocol: :meth:`repro.core.CheckpointEngine.load` routes
-        through here, so every engine's restores share one validation +
-        deserialization path.
+        reassembled into the rank's state.
         """
         manifest = self.manifest(tag)
         for record in manifest.shards:
@@ -386,23 +489,23 @@ class CheckpointLoader:
                     raise RestartError(
                         f"{shard_name!r} is part {record.part_index} of shard-set "
                         f"{record.group!r} in checkpoint {tag!r}; load the set by "
-                        f"its group name: load_shard({tag!r}, {record.group!r})"
+                        f"its group name: RestoreSpec.of_shard({record.group!r})"
                     )
-                return self._load_shard_set(tag, [record])
+                return self._load_shard_set(tag, [record], validate=validate)
         group_rank = next((record.rank for record in manifest.shards
                            if record.in_shard_set and record.group == shard_name), None)
         if group_rank is not None:
             # shard_sets_of_rank validates set completeness (every part_index
             # present), so this path diagnoses a pruned/corrupt manifest the
-            # same way load_rank does.
+            # same way a rank restore does.
             records = manifest.shard_sets_of_rank(group_rank)[shard_name]
-            return self._load_shard_set(tag, records)
+            return self._load_shard_set(tag, records, validate=validate)
         recorded = sorted({record.group or record.name for record in manifest.shards})
         raise RestartError(
             f"checkpoint {tag!r} has no shard {shard_name!r} (has: {recorded[:4]} ...)"
         )
 
-    def load_rank(self, tag: str, rank: int, validate: bool = True) -> Any:
+    def _load_rank(self, tag: str, rank: int, validate: bool = True) -> Any:
         """Load the state of one rank from its shard(s).
 
         Handles both layouts: a v1 single shard is loaded directly; a v2
@@ -425,7 +528,7 @@ class CheckpointLoader:
             return next(iter(loaded.values()))
         return loaded
 
-    def load_all(self, tag: str, validate: bool = True) -> Dict[int, Any]:
+    def _load_all(self, tag: str, validate: bool = True) -> Dict[int, Any]:
         """Load the state of every rank; per-shard validation is optional.
 
         Validation is folded into the load: each shard's size/CRC32 is

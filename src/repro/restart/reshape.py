@@ -1,0 +1,486 @@
+"""Elastic restart: reshape a checkpoint between parallel topologies.
+
+The paper's checkpoint layout (§2.5, Fig. 2(d)) ties every shard to the
+(DP, PP, TP, ZeRO) grid that wrote it: each data-parallel rank persists
+``1/DP`` of the model weights *and* ``1/DP`` of the partitioned optimizer
+state of its (PP, TP) model shard.  This module makes that layout
+*re-mappable*: a checkpoint saved at one ``(dp, pp, tp, shards_per_rank)``
+topology can be restored into any other, by
+
+1. **merging** every rank's slices back into the global state — DP slices
+   are concatenated per :func:`repro.parallelism.zero.partition_elements`
+   (the ZeRO-1 flat-partition table), TP slices are concatenated along each
+   tensor's ``partition_axis`` (the Megatron concat-dim table carried by
+   :class:`~repro.serialization.TensorLayout`), and pipeline stages
+   contribute their contiguous key ranges per
+   :func:`repro.parallelism.partition.balanced_contiguous_partition`;
+2. **re-splitting** the merged state along the same three axes at the
+   target grid.
+
+Both halves use the identical partition math, so a merge → split round trip
+is bit-exact and an identity reshape (N×M → N×M) reproduces every rank's
+arrays bit-for-bit.
+
+The format is carried in-band: each rank's state dict is
+
+.. code-block:: python
+
+    {"elastic": {"format": 1, "coord": [d, p, t]},
+     "model":   {key: 1-D slice of the flattened TP-slice},
+     "zero":    {key: {buf_name: 1-D slice, ...}},   # e.g. Adam exp_avg/...
+     "extra":   {...}}                               # replicated, picklable
+
+and the manifest's topology block (schema v4) records the grid plus the
+per-tensor partition table needed to reassemble it.
+
+Entry points: :func:`save_elastic_checkpoint` writes a full state through the
+real engines at some topology; :func:`reshape_state_dicts` remaps loaded
+per-rank states (what ``RestoreSpec.target_topology`` uses);
+:func:`reshape_checkpoint` is the offline converter behind ``repro reshape``
+— source tag in, reshaped committed checkpoint out, on any
+:class:`~repro.io.ShardStore`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import CheckpointPolicy
+from ..exceptions import CheckpointError, RestartError
+from ..io import ShardStore
+from ..logging_utils import get_logger
+from ..parallelism.partition import balanced_contiguous_partition
+from ..parallelism.topology3d import ParallelTopology, RankCoordinate
+from ..parallelism.zero import partition_elements
+from ..serialization import CheckpointTopology, TensorLayout
+from .loader import CheckpointLoader
+from .spec import RestoreSpec
+
+logger = get_logger(__name__)
+
+#: In-band marker of the per-rank elastic state layout.
+ELASTIC_FORMAT = 1
+
+#: Host staging budget of the short-lived per-rank engines used by the
+#: offline converter (the slices it writes are far smaller than a training
+#: engine's working set).
+_CONVERTER_HOST_BUFFER = 64 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------- table
+def elastic_topology(model: Mapping[str, np.ndarray], data_parallel: int,
+                     pipeline_parallel: int = 1, tensor_parallel: int = 1,
+                     axes: Optional[Mapping[str, Optional[int]]] = None,
+                     shards_per_rank: int = 1) -> CheckpointTopology:
+    """Build the v4 topology block for a full model state.
+
+    ``axes`` maps tensor keys to their TP partition axis (the Megatron
+    concat-dim table: 0 for column-parallel, 1 for row-parallel); keys absent
+    from ``axes`` (or mapped to ``None``) are replicated across the TP group.
+    The canonical tensor order — which pipeline-stage rebalancing partitions
+    contiguously — is the sorted key order.
+    """
+    axes = dict(axes or {})
+    unknown = sorted(set(axes) - set(model))
+    if unknown:
+        raise RestartError(f"axes name tensors not in the model: {unknown[:4]}")
+    layouts: List[TensorLayout] = []
+    for key in sorted(model):
+        array = np.asarray(model[key])
+        axis = axes.get(key)
+        if axis is not None and not (0 <= axis < array.ndim):
+            raise RestartError(
+                f"partition axis {axis} out of range for tensor {key!r} "
+                f"of shape {array.shape}")
+        layouts.append(TensorLayout(key=key, partition_axis=axis,
+                                    shape=tuple(array.shape)))
+    return CheckpointTopology(
+        data_parallel=data_parallel,
+        pipeline_parallel=pipeline_parallel,
+        tensor_parallel=tensor_parallel,
+        shards_per_rank=shards_per_rank,
+        tensors=tuple(layouts),
+    )
+
+
+def _stage_assignment(topology: CheckpointTopology) -> Dict[str, int]:
+    """Pipeline stage of every tensor key, from the canonical table order.
+
+    Stages get contiguous key ranges balanced by element count — the
+    DeepSpeed "uniform trainable parameters per stage" scheme (§6.3) — so
+    save-time and restore-time assignments agree by construction.
+    """
+    layouts = topology.tensors or ()
+    weights = [int(np.prod(layout.shape, dtype=np.int64)) if layout.shape else 1
+               for layout in layouts]
+    groups = balanced_contiguous_partition(weights, topology.pipeline_parallel)
+    stage_of: Dict[str, int] = {}
+    for stage, group in enumerate(groups):
+        for index in group:
+            stage_of[layouts[index].key] = stage
+    return stage_of
+
+
+def _tp_slices(layout: TensorLayout, tensor_parallel: int) -> List[Tuple[slice, ...]]:
+    """The per-TP-rank index tuples of one tensor (one full slice if replicated)."""
+    if layout.partition_axis is None:
+        return [tuple(slice(None) for _ in layout.shape)] * tensor_parallel
+    axis = layout.partition_axis
+    extent = layout.shape[axis] if axis < len(layout.shape) else 0
+    parts = partition_elements(extent, tensor_parallel)
+    slices = []
+    for part in parts:
+        index = [slice(None)] * len(layout.shape)
+        index[axis] = slice(part.start, part.stop)
+        slices.append(tuple(index))
+    return slices
+
+
+def _tp_slice_shape(layout: TensorLayout, tensor_parallel: int,
+                    tensor_rank: int) -> Tuple[int, ...]:
+    """Shape of TP rank ``tensor_rank``'s slice of ``layout``'s tensor."""
+    if layout.partition_axis is None:
+        return layout.shape
+    axis = layout.partition_axis
+    part = partition_elements(layout.shape[axis], tensor_parallel)[tensor_rank]
+    shape = list(layout.shape)
+    shape[axis] = part.numel
+    return tuple(shape)
+
+
+def _dp_segment(flat: np.ndarray, data_parallel: int, data_rank: int) -> np.ndarray:
+    """ZeRO-1 slice of a flattened buffer owned by one DP rank (a copy)."""
+    part = partition_elements(flat.size, data_parallel)[data_rank]
+    return flat[part.start:part.stop].copy()
+
+
+def _bit_equal(left: np.ndarray, right: np.ndarray) -> bool:
+    """Bit-exact equality (NaN-safe: compares raw bytes, not values)."""
+    if left.shape != right.shape or left.dtype != right.dtype:
+        return False
+    return np.array_equal(np.ascontiguousarray(left).view(np.uint8),
+                          np.ascontiguousarray(right).view(np.uint8))
+
+
+# ------------------------------------------------------------------ splitting
+def shard_full_state(full_state: Mapping[str, Any],
+                     topology: CheckpointTopology) -> Dict[int, Dict[str, Any]]:
+    """Split a global state into the per-rank elastic states of ``topology``.
+
+    ``full_state`` holds ``model`` (``{key: global ndarray}``), optionally
+    ``zero`` (``{key: {buf_name: ndarray}}``, each buffer shaped like its
+    model tensor — Adam moments under ZeRO-1) and ``extra`` (replicated
+    picklables).  Every model key must appear in the topology's partition
+    table.  Returns ``{global_rank: state}`` covering the whole grid.
+    """
+    table = topology.layout_table()
+    model = dict(full_state.get("model") or {})
+    zero = dict(full_state.get("zero") or {})
+    extra = full_state.get("extra")
+    missing = sorted(set(model) - set(table))
+    if missing:
+        raise RestartError(
+            f"model tensors missing from the topology's partition table: "
+            f"{missing[:4]}")
+    unknown = sorted(set(table) - set(model))
+    if unknown:
+        raise RestartError(
+            f"partition table names tensors not in the state: {unknown[:4]}")
+    for key, bufs in zero.items():
+        if key not in model:
+            raise RestartError(f"optimizer state for unknown tensor {key!r}")
+        for name, buf in bufs.items():
+            if tuple(np.asarray(buf).shape) != tuple(np.asarray(model[key]).shape):
+                raise RestartError(
+                    f"optimizer buffer {name!r} of {key!r} has shape "
+                    f"{np.asarray(buf).shape}, model tensor has "
+                    f"{np.asarray(model[key]).shape}")
+
+    stage_of = _stage_assignment(topology)
+    grid = ParallelTopology(*topology.grid)
+    states: Dict[int, Dict[str, Any]] = {}
+    for rank in range(grid.world_size):
+        coord = grid.coordinate(rank)
+        rank_model: Dict[str, np.ndarray] = {}
+        rank_zero: Dict[str, Dict[str, np.ndarray]] = {}
+        for layout in topology.tensors:
+            key = layout.key
+            if stage_of[key] != coord.pipeline:
+                continue
+            index = _tp_slices(layout, topology.tensor_parallel)[coord.tensor]
+
+            def slice_of(array: np.ndarray) -> np.ndarray:
+                expected = tuple(layout.shape)
+                if tuple(array.shape) != expected:
+                    raise RestartError(
+                        f"tensor {key!r} has shape {array.shape}, partition "
+                        f"table says {expected}")
+                flat = np.ascontiguousarray(array[index]).reshape(-1)
+                return _dp_segment(flat, topology.data_parallel, coord.data)
+
+            rank_model[key] = slice_of(np.asarray(model[key]))
+            if key in zero:
+                rank_zero[key] = {name: slice_of(np.asarray(buf))
+                                  for name, buf in zero[key].items()}
+        state: Dict[str, Any] = {
+            "elastic": {
+                "format": ELASTIC_FORMAT,
+                "coord": [coord.data, coord.pipeline, coord.tensor],
+            },
+            "model": rank_model,
+        }
+        if rank_zero:
+            state["zero"] = rank_zero
+        if extra is not None:
+            state["extra"] = extra
+        states[rank] = state
+    return states
+
+
+# -------------------------------------------------------------------- merging
+def _elastic_coord(state: Any, rank: int) -> Tuple[int, int, int]:
+    """The (d, p, t) coordinate recorded in one rank's elastic state."""
+    if not isinstance(state, Mapping) or "elastic" not in state:
+        raise RestartError(
+            f"rank {rank}'s state is not an elastic checkpoint state (no "
+            "'elastic' block); only checkpoints saved through the elastic "
+            "format can be reshaped")
+    block = state["elastic"]
+    if int(block.get("format", -1)) != ELASTIC_FORMAT:
+        raise RestartError(
+            f"rank {rank} uses elastic format {block.get('format')!r}; "
+            f"this build understands format {ELASTIC_FORMAT}")
+    d, p, t = (int(value) for value in block["coord"])
+    return d, p, t
+
+
+def merge_full_state(states: Mapping[int, Any], topology: CheckpointTopology,
+                     validate: bool = True) -> Dict[str, Any]:
+    """Reassemble the global state from every rank's elastic slices.
+
+    The inverse of :func:`shard_full_state`: DP flats are concatenated in
+    partition order, reshaped to the TP slice, and the TP slices concatenated
+    along each tensor's partition axis.  With ``validate=True`` replicated
+    tensors (and the per-rank coordinates) are cross-checked bit-exactly
+    across the TP group; corruption that per-shard CRCs cannot see (a shard
+    swapped with another rank's valid shard) fails here.
+    """
+    table = topology.layout_table()
+    grid = ParallelTopology(*topology.grid)
+    if set(states) != set(range(grid.world_size)):
+        raise RestartError(
+            f"elastic merge needs every rank of {topology.describe()} "
+            f"(world {grid.world_size}); got ranks {sorted(states)[:8]}")
+    for rank in range(grid.world_size):
+        coord = grid.coordinate(rank)
+        recorded = _elastic_coord(states[rank], rank)
+        if validate and recorded != (coord.data, coord.pipeline, coord.tensor):
+            raise RestartError(
+                f"rank {rank} records coordinate {recorded}, topology "
+                f"{topology.describe()} places it at "
+                f"{(coord.data, coord.pipeline, coord.tensor)}")
+
+    stage_of = _stage_assignment(topology)
+
+    def gather(key: str, layout: TensorLayout, pick) -> np.ndarray:
+        """Merge one tensor (``pick(state)`` selects its slice per rank)."""
+        stage = stage_of[key]
+        tp_pieces: List[np.ndarray] = []
+        for t in range(topology.tensor_parallel):
+            flats: List[np.ndarray] = []
+            for d in range(topology.data_parallel):
+                rank = grid.global_rank(RankCoordinate(d, stage, t))
+                sliced = pick(states[rank], rank)
+                flats.append(np.asarray(sliced).reshape(-1))
+            shape = _tp_slice_shape(layout, topology.tensor_parallel, t)
+            merged = (np.concatenate(flats) if flats else
+                      np.zeros(0, dtype=np.float64))
+            expected = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            if merged.size != expected:
+                raise RestartError(
+                    f"tensor {key!r}: TP slice {t} reassembles to "
+                    f"{merged.size} elements, expected {expected}")
+            tp_pieces.append(merged.reshape(shape))
+        if layout.partition_axis is None:
+            if validate:
+                for t, piece in enumerate(tp_pieces[1:], start=1):
+                    if not _bit_equal(tp_pieces[0], piece):
+                        raise RestartError(
+                            f"replicated tensor {key!r} differs between TP "
+                            f"ranks 0 and {t}")
+            return tp_pieces[0]
+        return np.concatenate(tp_pieces, axis=layout.partition_axis)
+
+    def model_slice(key: str):
+        def pick(state, rank):
+            model = state.get("model") or {}
+            if key not in model:
+                raise RestartError(
+                    f"rank {rank} holds no slice of tensor {key!r}")
+            return model[key]
+        return pick
+
+    def zero_slice(key: str, name: str):
+        def pick(state, rank):
+            bufs = (state.get("zero") or {}).get(key) or {}
+            if name not in bufs:
+                raise RestartError(
+                    f"rank {rank} holds no optimizer buffer {name!r} "
+                    f"for tensor {key!r}")
+            return bufs[name]
+        return pick
+
+    model: Dict[str, np.ndarray] = {}
+    zero: Dict[str, Dict[str, np.ndarray]] = {}
+    for layout in topology.tensors:
+        key = layout.key
+        model[key] = gather(key, layout, model_slice(key))
+        owner = grid.global_rank(
+            RankCoordinate(0, stage_of[key], 0))
+        buf_names = sorted(((states[owner].get("zero") or {}).get(key) or {}))
+        if buf_names:
+            zero[key] = {name: gather(key, layout, zero_slice(key, name))
+                         for name in buf_names}
+    full: Dict[str, Any] = {"model": model}
+    if zero:
+        full["zero"] = zero
+    extra = next((states[rank].get("extra")
+                  for rank in sorted(states)
+                  if isinstance(states[rank], Mapping) and "extra" in states[rank]),
+                 None)
+    if extra is not None:
+        full["extra"] = extra
+    return full
+
+
+def reshape_state_dicts(states: Mapping[int, Any], source: CheckpointTopology,
+                        target: CheckpointTopology,
+                        validate: bool = True) -> Dict[int, Dict[str, Any]]:
+    """Remap loaded per-rank states from ``source`` onto ``target``.
+
+    The in-memory half of the elastic restore (what a
+    ``RestoreSpec.target_topology`` restore runs after ``load``-ing every
+    source rank).  A target without its own partition table inherits the
+    source's — the common case: same tensors, different grid.
+    """
+    if target.tensors is None:
+        target = replace(target, tensors=source.tensors)
+    full = merge_full_state(states, source, validate=validate)
+    return shard_full_state(full, target)
+
+
+# ----------------------------------------------------------------- converting
+@dataclass(frozen=True)
+class ReshapeReport:
+    """What one offline reshape did (printed by ``repro reshape``)."""
+
+    source_tag: str
+    target_tag: str
+    source_topology: CheckpointTopology
+    target_topology: CheckpointTopology
+    tensors: int
+    total_bytes: int
+    elapsed_seconds: float
+
+    def summary(self) -> str:
+        return (f"{self.source_tag} [{self.source_topology.describe()}] -> "
+                f"{self.target_tag} [{self.target_topology.describe()}]: "
+                f"{self.tensors} tensors, {self.total_bytes} bytes, "
+                f"{self.elapsed_seconds:.3f}s")
+
+
+def save_elastic_checkpoint(store: ShardStore, full_state: Mapping[str, Any],
+                            topology: CheckpointTopology, tag: str,
+                            engine: str = "deepspeed", iteration: int = -1,
+                            policy: Optional[CheckpointPolicy] = None) -> None:
+    """Write ``full_state`` as a committed elastic checkpoint at ``topology``.
+
+    Spins up one real engine per rank of the grid (threads, sharing one
+    two-phase-commit coordinator, exactly like the conformance harness) and
+    saves every rank's slice concurrently — the synchronous engines block in
+    ``save`` until the collective commits, so the pool must span the world.
+    """
+    from ..core import create_real_engine
+
+    states = shard_full_state(full_state, topology)
+    world = topology.world_size
+    if policy is None:
+        policy = CheckpointPolicy(host_buffer_size=_CONVERTER_HOST_BUFFER,
+                                  shards_per_rank=topology.shards_per_rank)
+    elif policy.shards_per_rank != topology.shards_per_rank:
+        policy = policy.with_overrides(shards_per_rank=topology.shards_per_rank)
+    from ..core.consolidation import TwoPhaseCommitCoordinator
+
+    coordinator = TwoPhaseCommitCoordinator(world, store, topology=topology)
+    engines = [create_real_engine(engine, store, rank=rank, world_size=world,
+                                  coordinator=coordinator, policy=policy)
+               for rank in range(world)]
+    try:
+        with ThreadPoolExecutor(max_workers=world,
+                                thread_name_prefix="reshape-save") as pool:
+            futures = [pool.submit(engines[rank].save, states[rank], tag,
+                                   iteration)
+                       for rank in range(world)]
+            for future in futures:
+                future.result()
+        for eng in engines:
+            eng.wait_all()
+    finally:
+        for eng in engines:
+            eng.shutdown(wait=False)
+
+
+def reshape_checkpoint(source_store: ShardStore, target: CheckpointTopology,
+                       tag: Optional[str] = None,
+                       dest_store: Optional[ShardStore] = None,
+                       out_tag: Optional[str] = None,
+                       engine: str = "deepspeed",
+                       policy: Optional[CheckpointPolicy] = None,
+                       validate: bool = True,
+                       prefetch_depth: Optional[int] = None) -> ReshapeReport:
+    """Offline converter: re-write a committed checkpoint at a new topology.
+
+    Loads every rank of ``tag`` (default: the latest committed checkpoint on
+    ``source_store``), merges at the save-time topology, and saves the
+    re-split state as ``out_tag`` (default ``{tag}-{target.describe()}``) on
+    ``dest_store`` (default: the source store) through real engines — the
+    output is a first-class committed checkpoint, restorable anywhere.
+    """
+    started = time.monotonic()
+    loader = CheckpointLoader(source_store, prefetch_depth=prefetch_depth)
+    if tag is None:
+        tag = loader._latest_tag()
+    manifest = loader.manifest(tag)
+    if manifest.topology is None:
+        raise RestartError(
+            f"checkpoint {tag!r} carries no save-time topology block "
+            "(manifest schema < 4) and cannot be reshaped")
+    source = manifest.topology
+    if target.tensors is None:
+        target = replace(target, tensors=source.tensors)
+    dest = dest_store if dest_store is not None else source_store
+    resolved_out = out_tag or f"{tag}-{target.describe()}"
+    if resolved_out in dest.list_committed_checkpoints():
+        raise CheckpointError(
+            f"destination already holds a committed checkpoint {resolved_out!r}")
+    states = loader.restore(RestoreSpec.full(tag=tag, validate=validate))
+    full = merge_full_state(states, source, validate=validate)
+    save_elastic_checkpoint(dest, full, target, resolved_out, engine=engine,
+                            iteration=manifest.iteration, policy=policy)
+    out_manifest = CheckpointLoader(dest).manifest(resolved_out)
+    report = ReshapeReport(
+        source_tag=tag,
+        target_tag=resolved_out,
+        source_topology=source,
+        target_topology=target,
+        tensors=len(target.tensors or ()),
+        total_bytes=out_manifest.total_bytes,
+        elapsed_seconds=time.monotonic() - started,
+    )
+    logger.info("reshaped checkpoint %s", report.summary())
+    return report

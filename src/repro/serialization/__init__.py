@@ -10,7 +10,14 @@ from .header import (
     preamble_size,
 )
 from .checksum import checksum_stream, crc32_combine, fold_section_checksums
-from .manifest import MANIFEST_VERSION, CheckpointManifest, ShardRecord, checksum_bytes
+from .manifest import (
+    MANIFEST_VERSION,
+    CheckpointManifest,
+    CheckpointTopology,
+    ShardRecord,
+    TensorLayout,
+    checksum_bytes,
+)
 from .reader import deserialize_rank_state, deserialize_state, peek_tensor_keys
 from .shard_plan import (
     ShardPart,
@@ -41,6 +48,8 @@ __all__ = [
     "deserialize_rank_state",
     "peek_tensor_keys",
     "CheckpointManifest",
+    "CheckpointTopology",
+    "TensorLayout",
     "ShardRecord",
     "ShardPart",
     "ShardPlan",

@@ -24,19 +24,133 @@ Schema versions
   present for CAS checkpoints, so v1/v2 manifests stay byte-identical and
   parse unchanged; the refcounting garbage collector rebuilds its chunk
   index from exactly these lists.
+* **v4** — elastic restart: checkpoints saved with a declared parallel
+  layout carry a top-level ``topology`` block
+  (:class:`CheckpointTopology`): the (DP, PP, TP) grid the shards were
+  written from, the ``shards_per_rank`` layout, the ZeRO stage, and — for
+  elastic (reshapable) checkpoints — the per-tensor partition table
+  ``[key, partition_axis, global_shape]`` that the reshaping restore path
+  (:mod:`repro.restart.reshape`) uses to concat/split shards into a new
+  topology.  The block is only written when a save declares its topology,
+  so v1/v2/v3 manifests stay byte-identical and parse unchanged
+  (``manifest.topology`` is simply ``None``).
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import ConsistencyError
 
-#: Current manifest schema version (v2/v3 keys are written only when
-#: shard-sets / chunk lists are actually present).
-MANIFEST_VERSION = 3
+#: Current manifest schema version (v2/v3/v4 keys are written only when
+#: shard-sets / chunk lists / a topology block are actually present).
+MANIFEST_VERSION = 4
+
+
+@dataclass(frozen=True)
+class TensorLayout:
+    """How one global tensor is partitioned across the tensor-parallel group.
+
+    ``partition_axis`` is the concat/split dimension (the Megatron layer
+    concat-dim table: 0 for column-parallel, 1 for row-parallel, ...);
+    ``None`` marks a tensor replicated across TP ranks.  ``shape`` is the
+    *global* (unsharded) shape, which the reshape path needs to recover the
+    per-rank slice shapes at any topology.
+    """
+
+    key: str
+    partition_axis: Optional[int]
+    shape: Tuple[int, ...]
+
+    def to_json(self) -> List:
+        return [self.key, self.partition_axis, list(self.shape)]
+
+    @staticmethod
+    def from_json(data: Sequence) -> "TensorLayout":
+        key, axis, shape = data
+        return TensorLayout(
+            key=str(key),
+            partition_axis=None if axis is None else int(axis),
+            shape=tuple(int(dim) for dim in shape),
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointTopology:
+    """The save-time parallel layout of a checkpoint (manifest schema v4).
+
+    Records the (data, pipeline, tensor)-parallel grid the shards were
+    written from plus, for elastic checkpoints, the ordered per-tensor
+    partition table.  The table's order is the canonical global tensor order
+    (the layer order), which the pipeline-stage rebalancing of a reshaping
+    restore partitions contiguously.
+    """
+
+    data_parallel: int
+    pipeline_parallel: int = 1
+    tensor_parallel: int = 1
+    shards_per_rank: int = 1
+    zero_stage: int = 1
+    #: Per-tensor partition table, in canonical (layer) order; ``None`` for
+    #: topology-stamped checkpoints that are not elastically reshapable.
+    tensors: Optional[Tuple[TensorLayout, ...]] = None
+
+    def __post_init__(self) -> None:
+        if (self.data_parallel <= 0 or self.pipeline_parallel <= 0
+                or self.tensor_parallel <= 0):
+            raise ConsistencyError("all topology degrees must be positive")
+        if self.shards_per_rank <= 0:
+            raise ConsistencyError("shards_per_rank must be positive")
+
+    @property
+    def world_size(self) -> int:
+        """Total ranks of the grid (DP x PP x TP)."""
+        return self.data_parallel * self.pipeline_parallel * self.tensor_parallel
+
+    @property
+    def grid(self) -> Tuple[int, int, int]:
+        """The (dp, pp, tp) triple."""
+        return (self.data_parallel, self.pipeline_parallel, self.tensor_parallel)
+
+    def describe(self) -> str:
+        """Compact display form, e.g. ``dp4xpp1xtp2``."""
+        return (f"dp{self.data_parallel}xpp{self.pipeline_parallel}"
+                f"xtp{self.tensor_parallel}")
+
+    def layout_table(self) -> Mapping[str, TensorLayout]:
+        """The partition table keyed by tensor name (insertion-ordered)."""
+        if self.tensors is None:
+            raise ConsistencyError(
+                "checkpoint topology carries no per-tensor partition table; "
+                "only elastic checkpoints can be reshaped")
+        return {layout.key: layout for layout in self.tensors}
+
+    def to_json(self) -> Dict:
+        payload: Dict[str, object] = {
+            "data_parallel": self.data_parallel,
+            "pipeline_parallel": self.pipeline_parallel,
+            "tensor_parallel": self.tensor_parallel,
+            "shards_per_rank": self.shards_per_rank,
+            "zero_stage": self.zero_stage,
+        }
+        if self.tensors is not None:
+            payload["tensors"] = [layout.to_json() for layout in self.tensors]
+        return payload
+
+    @staticmethod
+    def from_json(data: Dict) -> "CheckpointTopology":
+        tensors = data.get("tensors")
+        return CheckpointTopology(
+            data_parallel=int(data["data_parallel"]),
+            pipeline_parallel=int(data.get("pipeline_parallel", 1)),
+            tensor_parallel=int(data.get("tensor_parallel", 1)),
+            shards_per_rank=int(data.get("shards_per_rank", 1)),
+            zero_stage=int(data.get("zero_stage", 1)),
+            tensors=None if tensors is None
+            else tuple(TensorLayout.from_json(item) for item in tensors),
+        )
 
 
 @dataclass(frozen=True)
@@ -115,6 +229,9 @@ class CheckpointManifest:
     iteration: int
     shards: List[ShardRecord] = field(default_factory=list)
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Save-time parallel layout (schema v4); ``None`` for checkpoints saved
+    #: without a declared topology (every earlier release).
+    topology: Optional[CheckpointTopology] = None
 
     def add_shard(self, record: ShardRecord) -> None:
         """Register one persisted shard."""
@@ -126,8 +243,11 @@ class CheckpointManifest:
 
     @property
     def version(self) -> int:
-        """Schema version: 3 once any record carries a content-addressed
-        chunk list, else 2 once any rank uses a multi-shard layout, else 1."""
+        """Schema version: 4 when a save-time topology block is present,
+        else 3 once any record carries a content-addressed chunk list, else
+        2 once any rank uses a multi-shard layout, else 1."""
+        if self.topology is not None:
+            return 4
         if any(r.chunks is not None for r in self.shards):
             return 3
         return 2 if any(r.in_shard_set for r in self.shards) else 1
@@ -173,9 +293,10 @@ class CheckpointManifest:
     def to_json(self) -> Dict:
         """JSON-serialisable form written to ``manifest.json``.
 
-        The ``version`` key is only emitted for v2+ manifests (shard-sets or
-        chunk lists present), so single-shard checkpoints stay byte-identical
-        to the manifests every earlier release wrote.
+        The ``version`` key is only emitted for v2+ manifests (shard-sets,
+        chunk lists, or a topology block present), so single-shard
+        checkpoints stay byte-identical to the manifests every earlier
+        release wrote.
         """
         payload = {
             "tag": self.tag,
@@ -185,18 +306,24 @@ class CheckpointManifest:
             "shards": [record.to_json() for record in self.shards],
             "extra": dict(self.extra),
         }
+        if self.topology is not None:
+            payload["topology"] = self.topology.to_json()
         if self.version > 1:
             payload["version"] = self.version
         return payload
 
     @staticmethod
     def from_json(data: Dict) -> "CheckpointManifest":
-        """Inverse of :meth:`to_json`."""
+        """Inverse of :meth:`to_json` (v1-v3 manifests simply lack the
+        topology block)."""
+        topology = data.get("topology")
         manifest = CheckpointManifest(
             tag=str(data["tag"]),
             world_size=int(data["world_size"]),
             iteration=int(data.get("iteration", -1)),
             extra=dict(data.get("extra", {})),
+            topology=None if topology is None
+            else CheckpointTopology.from_json(topology),
         )
         for item in data.get("shards", []):
             manifest.add_shard(ShardRecord.from_json(item))

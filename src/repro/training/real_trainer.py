@@ -34,7 +34,7 @@ from ..exceptions import ConfigurationError, RestartError
 from ..io import ShardStore
 from ..logging_utils import get_logger
 from ..model import AdamConfig, AdamOptimizer, NumpyTransformerLM
-from ..restart import CheckpointLoader
+from ..restart import CheckpointLoader, RestoreSpec
 from .data import DataConfig, SyntheticTokenStream
 
 logger = get_logger(__name__)
@@ -234,14 +234,14 @@ class RealTrainer:
                 tag = source.latest_checkpoint()
                 if tag is None:
                     raise RestartError("no committed checkpoint to resume from")
-            state = source.load(tag, shard_name=f"rank{rank}")
+            state = source.load(RestoreSpec.of_shard(f"rank{rank}", tag=tag))
         else:
             if tag is None:
                 info = source.latest()
                 if info is None:
                     raise RestartError("no committed checkpoint to resume from")
                 tag = info.tag
-            state = source.load_rank(tag, rank)
+            state = source.restore(RestoreSpec.of_rank(rank, tag=tag))
         self.load_state_dict(state)
         logger.info("resumed training from checkpoint %s at iteration %d", tag, self.iteration)
         return tag

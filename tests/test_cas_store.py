@@ -26,6 +26,7 @@ from repro.io import (
     make_parallel_fs,
     supports_shard_reference,
 )
+from repro.restart import RestoreSpec
 from repro.io.cas import CHUNK_SHARD_NAME, INDEX_TAG, chunk_tag
 from repro.simulator import Environment
 
@@ -376,7 +377,7 @@ def test_incremental_save_writes_under_sixty_percent(engine_name, tmp_path):
         incremental = store.dedup_metrics()["bytes_written"] - full
         assert incremental < 0.6 * full
 
-        restored = engine.load("ckpt-2")
+        restored = engine.load(RestoreSpec(tag="ckpt-2"))
         for key, value in changed["model"].items():
             np.testing.assert_array_equal(restored["model"][key], value)
         for key, value in changed["optimizer"].items():
@@ -389,7 +390,7 @@ def test_incremental_save_writes_under_sixty_percent(engine_name, tmp_path):
         assert store.dedup_metrics()["bytes_written"] == before
         assert engine.stats()["parts_referenced"] >= 1
         assert engine.stats()["bytes_referenced"] > 0
-        resaved = engine.load("ckpt-3")
+        resaved = engine.load(RestoreSpec(tag="ckpt-3"))
         np.testing.assert_array_equal(resaved["optimizer"]["m3"],
                                       changed["optimizer"]["m3"])
 
@@ -411,7 +412,7 @@ def test_incremental_base_prune_keeps_referencing_checkpoints_whole(
 
         store.delete_checkpoint("base")
         assert store.sweep_unreferenced() == 0  # every chunk still referenced
-        restored = engine.load("head")
+        restored = engine.load(RestoreSpec(tag="head"))
         np.testing.assert_array_equal(restored["model"]["w0"],
                                       state["model"]["w0"])
 
@@ -432,7 +433,7 @@ def test_engines_roundtrip_over_cas_with_object_inner(engine_name, tmp_path):
 
         store.delete_checkpoint("ck-1")
         store.sweep_unreferenced()
-        restored = engine.load("ck-2")
+        restored = engine.load(RestoreSpec(tag="ck-2"))
         for key, value in state["model"].items():
             np.testing.assert_array_equal(restored["model"][key], value)
 

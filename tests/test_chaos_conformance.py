@@ -43,7 +43,7 @@ from repro.io import (
     ObjectStore,
     TieredStore,
 )
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 
 #: Suite-level seed: fixed in PR CI, rotated nightly (see ci.yml).
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1337"))
@@ -178,7 +178,7 @@ def test_chaos_never_silently_corrupts(engine_name, store_backend, scenario,
                 _dump_artifact(plan, engine_name, store_backend, scenario)
                 pytest.fail(f"store invented checkpoint {tag!r} {repro_hint}")
             try:
-                restored = loader.load_all(tag)
+                restored = loader.restore(RestoreSpec.full(tag=tag))
             except (CheckpointError, ConsistencyError):
                 continue  # detected damage: the sanctioned outcome
             state = restored[0]  # rank 0's state (single-rank runs)
@@ -256,7 +256,7 @@ def test_chaos_restore_never_silently_corrupts(engine_name, store_backend,
     for _attempt in range(3):
         for tag, want in expected.items():
             try:
-                restored = loader.load_all(tag)
+                restored = loader.restore(RestoreSpec.full(tag=tag))
             except (CheckpointError, ConsistencyError, RestartError):
                 refused += 1  # loud refusal: the sanctioned outcome
                 continue
@@ -281,7 +281,7 @@ def test_chaos_restore_never_silently_corrupts(engine_name, store_backend,
     with faulty.suspend():
         recovered = CheckpointLoader(clean_view)
         for tag, want in expected.items():
-            state = recovered.load_all(tag)[0]
+            state = recovered.restore(RestoreSpec.full(tag=tag))[0]
             np.testing.assert_array_equal(state["model"]["w"], want["model"]["w"])
             np.testing.assert_array_equal(state["optimizer"]["m"],
                                           want["optimizer"]["m"])
@@ -310,7 +310,7 @@ def test_committed_checkpoints_survive_when_faults_stop(engine_name,
         # recovery is about, so wait on its handle specifically.
         handle.wait_durable(timeout=30.0)
         assert engine.coordinator.wait_committed("final", timeout=30.0)
-        restored = engine.load("final")
+        restored = engine.load(RestoreSpec(tag="final"))
     assert "final" in clean_view.list_committed_checkpoints(), (
         f"recovery checkpoint missing [config seed {seed}]")
     np.testing.assert_array_equal(restored["model"]["w"], final["model"]["w"])

@@ -12,6 +12,7 @@ from repro.core import (
 )
 from repro.exceptions import CheckpointError, ConsistencyError, RestartError
 from repro.io import FileStore
+from repro.restart import RestoreSpec
 from repro.serialization import ShardRecord
 
 
@@ -99,7 +100,7 @@ def test_save_and_load_roundtrip(engine):
     engine.save(state, tag="ckpt-1", iteration=1)
     engine.wait_all()
     assert engine.list_checkpoints() == ["ckpt-1"]
-    loaded = engine.load("ckpt-1")
+    loaded = engine.load(RestoreSpec(tag="ckpt-1"))
     assert loaded["iteration"] == 1
     np.testing.assert_array_equal(loaded["model"]["w"], state["model"]["w"])
     np.testing.assert_array_equal(loaded["optimizer"]["v"], state["optimizer"]["v"])
@@ -118,7 +119,7 @@ def test_snapshot_isolates_state_from_later_mutation(engine):
     engine.wait_for_snapshot()
     state["model"]["w"][:] = -1.0   # the "optimizer update" mutates in place
     engine.wait_all()
-    loaded = engine.load("ckpt-mut")
+    loaded = engine.load(RestoreSpec(tag="ckpt-mut"))
     np.testing.assert_array_equal(loaded["model"]["w"], original)
 
 
@@ -129,7 +130,7 @@ def test_multiple_checkpoints_accumulate(engine):
     engine.wait_all()
     assert engine.list_checkpoints() == ["ckpt-0", "ckpt-1", "ckpt-2"]
     assert engine.latest_checkpoint() == "ckpt-2"
-    assert engine.load("ckpt-1")["iteration"] == 1
+    assert engine.load(RestoreSpec(tag="ckpt-1"))["iteration"] == 1
 
 
 def test_handle_exposes_capture_and_durability(engine):
@@ -168,7 +169,7 @@ def test_state_larger_than_buffer_is_streamed_through(store):
         # 8 tensors x 128 KiB = 1 MiB total vs a 256 KiB buffer.
         engine.save(state, tag="ckpt-stream", iteration=0)
         engine.wait_all()
-        loaded = engine.load("ckpt-stream")
+        loaded = engine.load(RestoreSpec(tag="ckpt-stream"))
         for key, value in state.items():
             np.testing.assert_array_equal(loaded[key], value)
     finally:
@@ -179,7 +180,7 @@ def test_load_missing_checkpoint_raises(engine):
     # load() routes through the CheckpointLoader restore path, which reports
     # missing/uncommitted checkpoints as RestartError.
     with pytest.raises(RestartError):
-        engine.load("does-not-exist")
+        engine.load(RestoreSpec(tag="does-not-exist"))
 
 
 def test_save_after_shutdown_rejected(store):
@@ -250,7 +251,7 @@ def test_synchronous_engine_roundtrip(store):
     state = _state(seed=4)
     engine.save(state, tag="sync-1", iteration=4)
     assert store.list_committed_checkpoints() == ["sync-1"]
-    loaded = engine.load("sync-1")
+    loaded = engine.load(RestoreSpec(tag="sync-1"))
     np.testing.assert_array_equal(loaded["model"]["w"], state["model"]["w"])
 
 

@@ -15,7 +15,7 @@ from repro.core.lazy_snapshot import CopyStream, SnapshotJob
 from repro.exceptions import CheckpointError, ConsistencyError
 from repro.io import STORE_NAMES, FileStore, create_store
 from repro.memory import PinnedHostPool
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 from repro.serialization import build_header
 from repro.tensor import flatten_state_dict
 
@@ -148,7 +148,7 @@ def test_crash_truncated_committed_shard_detected(store_backend, tmp_path):
     with pytest.raises(ConsistencyError):
         loader.validate("ok")
     with pytest.raises(ConsistencyError):
-        loader.load_all("ok")
+        loader.restore(RestoreSpec.full(tag="ok"))
 
 
 @pytest.mark.parametrize("store_backend", STORE_NAMES)
@@ -170,7 +170,7 @@ def test_torn_committed_shard_detected(store_backend, tmp_path):
     _rewrite_stored_shard(store, store_backend, "torn", "rank0", torn)
     loader = CheckpointLoader(store)
     with pytest.raises(ConsistencyError):
-        loader.load_all("torn")
+        loader.restore(RestoreSpec.full(tag="torn"))
 
 
 def test_engine_survives_failure_and_accepts_new_checkpoints(tmp_path):
@@ -186,7 +186,7 @@ def test_engine_survives_failure_and_accepts_new_checkpoints(tmp_path):
         engine.save(_state(seed=3), tag="second", iteration=2)
         engine.wait_for_flushes()
         assert coordinator.wait_committed("second", timeout=10.0)
-        loaded = engine.load("second")
+        loaded = engine.load(RestoreSpec(tag="second"))
         np.testing.assert_array_equal(loaded["w"], _state(seed=3)["w"])
     finally:
         engine.shutdown(wait=False)

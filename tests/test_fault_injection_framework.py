@@ -27,7 +27,7 @@ from repro.io import (
     supports_ranged_reads,
     supports_shard_writer,
 )
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 
 
 def _state(seed=0, size=256):
@@ -118,7 +118,7 @@ def test_torn_write_detected_at_restore(tmp_path):
     assert any(entry["kind"] == "torn_write" for entry in store.fault_log())
     loader = CheckpointLoader(store.inner)
     with pytest.raises(ConsistencyError):
-        loader.load_all("torn")
+        loader.restore(RestoreSpec.full(tag="torn"))
 
 
 def test_torn_read_detected_by_loader(tmp_path):
@@ -131,10 +131,10 @@ def test_torn_read_detected_by_loader(tmp_path):
     with store.suspend():
         _save_one(store, "ok")
     with pytest.raises(ConsistencyError):
-        CheckpointLoader(store).load_all("ok")
+        CheckpointLoader(store).restore(RestoreSpec.full(tag="ok"))
     assert any(entry["kind"] == "torn_read" for entry in store.fault_log())
     with store.suspend():
-        restored = CheckpointLoader(store).load_all("ok")
+        restored = CheckpointLoader(store).restore(RestoreSpec.full(tag="ok"))
     np.testing.assert_array_equal(restored[0]["w"], _state(0)["w"])
 
 
@@ -290,6 +290,6 @@ def test_engine_round_trip_through_clean_faulty_store(tmp_path):
                             policy=CheckpointPolicy(host_buffer_size=4 << 20)) as engine:
         engine.save(_state(21), tag="clean", iteration=0)
         engine.wait_all()
-        loaded = engine.load("clean")
+        loaded = engine.load(RestoreSpec(tag="clean"))
     np.testing.assert_array_equal(loaded["w"], _state(21)["w"])
     assert store.fault_log() == []

@@ -15,7 +15,7 @@ from repro.core.lazy_snapshot import CopyStream, SnapshotJob
 from repro.exceptions import CheckpointError, ConsistencyError
 from repro.io import FileStore, ShardWriter
 from repro.memory import PinnedHostPool
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 from repro.serialization import (
     build_header,
     checksum_bytes,
@@ -205,7 +205,7 @@ def test_out_of_order_written_shard_passes_restart_validation(store):
     # The per-tensor verify also works for stores/loaders without mmap.
     CheckpointLoader(store, use_mmap=False).verify_tensor_checksums("ooo", record)
 
-    loaded = loader.load_rank("ooo", 0)
+    loaded = loader.restore(RestoreSpec.of_rank(0, tag="ooo"))
     for key, value in state["model"].items():
         np.testing.assert_array_equal(loaded["model"][key], value)
 
@@ -323,13 +323,13 @@ def test_load_all_with_validation_reads_each_shard_once(tmp_path):
 
     store.reads = store.maps = 0
     loader = CheckpointLoader(store, use_mmap=False)
-    states = loader.load_all("ckpt", validate=True)
+    states = loader.restore(RestoreSpec.full(tag="ckpt", validate=True))
     assert store.reads == 1  # previously: one read to validate + one to load
     np.testing.assert_array_equal(states[0]["model"]["w0"], state["model"]["w0"])
 
     store.reads = store.maps = 0
     loader = CheckpointLoader(store, use_mmap=True)
-    states = loader.load_all("ckpt", validate=True)
+    states = loader.restore(RestoreSpec.full(tag="ckpt", validate=True))
     assert store.reads == 0 and store.maps == 1
     np.testing.assert_array_equal(states[0]["model"]["w3"], state["model"]["w3"])
 
@@ -339,7 +339,7 @@ def test_loader_zero_copy_mode_returns_views(tmp_path):
     state = _state(seed=8)
     _commit_checkpoint(store, state)
     loader = CheckpointLoader(store, materialize=False)
-    loaded = loader.load_rank("ckpt", 0)
+    loaded = loader.restore(RestoreSpec.of_rank(0, tag="ckpt"))
     assert not loaded["model"]["w0"].flags.writeable
     np.testing.assert_array_equal(loaded["model"]["w0"], state["model"]["w0"])
 
@@ -351,7 +351,7 @@ def test_loader_mmap_detects_truncation_on_load(tmp_path):
     path.write_bytes(path.read_bytes()[:-32])
     loader = CheckpointLoader(store)
     with pytest.raises(ConsistencyError):
-        loader.load_all("ckpt", validate=True)
+        loader.restore(RestoreSpec.full(tag="ckpt", validate=True))
 
 
 # ---------------------------------------------------------------------------
@@ -402,7 +402,7 @@ def test_mmap_restore_policy_off_uses_read_path(tmp_path):
     engine.save(state, tag="ckpt", iteration=0)
     engine.wait_all()
     store.reads = store.maps = 0
-    loaded = engine.load("ckpt")
+    loaded = engine.load(RestoreSpec(tag="ckpt"))
     engine.shutdown()
     assert store.reads == 1 and store.maps == 0
     np.testing.assert_array_equal(loaded["model"]["w0"], state["model"]["w0"])
@@ -415,7 +415,7 @@ def test_engine_load_uses_mmap_by_default(tmp_path):
     engine.save(state, tag="ckpt", iteration=0)
     engine.wait_all()
     store.reads = store.maps = 0
-    loaded = engine.load("ckpt")
+    loaded = engine.load(RestoreSpec(tag="ckpt"))
     engine.shutdown()
     assert store.maps == 1 and store.reads == 0
     # Engine loads are materialised: training mutates them in place.

@@ -17,7 +17,7 @@ from repro.config import CheckpointPolicy
 from repro.core import DataStatesCheckpointEngine
 from repro.exceptions import ConsistencyError
 from repro.io import FileStore
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 from repro.serialization import CheckpointManifest, ShardRecord
 
 FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "v1_checkpoint"
@@ -55,7 +55,7 @@ def test_v1_fixture_checkpoint_restores_unchanged(use_mmap):
     assert manifest.shards[0].part_index is None
 
     expected = fixture_state()
-    loaded = loader.load_rank(FIXTURE_TAG, 0)
+    loaded = loader.restore(RestoreSpec.of_rank(0, tag=FIXTURE_TAG))
     np.testing.assert_array_equal(loaded["model"]["w"], expected["model"]["w"])
     np.testing.assert_array_equal(loaded["model"]["b"], expected["model"]["b"])
     np.testing.assert_array_equal(loaded["optimizer"]["m"], expected["optimizer"]["m"])
@@ -68,7 +68,7 @@ def test_v1_fixture_loads_through_engine_protocol(tmp_path):
     store = FileStore(FIXTURE_ROOT)
     engine = DataStatesCheckpointEngine(store, host_buffer_size=1 << 20)
     try:
-        loaded = engine.load(FIXTURE_TAG)
+        loaded = engine.load(RestoreSpec(tag=FIXTURE_TAG))
     finally:
         engine.shutdown(wait=False)
     np.testing.assert_array_equal(loaded["model"]["w"], fixture_state()["model"]["w"])
@@ -100,7 +100,7 @@ def test_v2_fixture_checkpoint_restores_unchanged(use_mmap):
     assert all(record.group == "rank0" for record in manifest.shards)
 
     expected = fixture_state()
-    loaded = loader.load_rank(V2_FIXTURE_TAG, 0)
+    loaded = loader.restore(RestoreSpec.of_rank(0, tag=V2_FIXTURE_TAG))
     np.testing.assert_array_equal(loaded["model"]["w"], expected["model"]["w"])
     np.testing.assert_array_equal(loaded["model"]["b"], expected["model"]["b"])
     np.testing.assert_array_equal(loaded["optimizer"]["m"], expected["optimizer"]["m"])

@@ -11,6 +11,7 @@ from repro.core import DataStatesCheckpointEngine
 from repro.exceptions import AllocationError
 from repro.io import FileStore
 from repro.memory import PinnedHostPool
+from repro.restart import RestoreSpec
 
 
 def test_allocate_returns_view_of_requested_size():
@@ -196,7 +197,7 @@ def test_two_inflight_checkpoints_larger_than_half_pool(tmp_path, parallel):
         assert engine.pool.peak_used_bytes <= pool_bytes
         assert engine.pool.peak_used_bytes >= pool_bytes // 2
         for tag, state in states.items():
-            loaded = engine.load(tag)
+            loaded = engine.load(RestoreSpec(tag=tag))
             for key, value in state.items():
                 np.testing.assert_array_equal(loaded[key], value)
     finally:

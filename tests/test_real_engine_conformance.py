@@ -28,7 +28,7 @@ from repro.core import (
 from repro.exceptions import CheckpointError, ConfigurationError
 from repro.io import STORE_NAMES, ShardStore, create_store
 from repro.model import NumpyTransformerLM, tiny_config
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 from repro.training import RealTrainer
 
 pytestmark = pytest.mark.parametrize("engine_name", ENGINE_NAMES)
@@ -148,7 +148,7 @@ def test_consistency_gate_isolates_snapshot_from_mutation(engine_name, store_bac
         engine.wait_for_snapshot()
         state["model"]["w"][:] = -1.0   # the "optimizer update"
         engine.wait_all()
-        loaded = engine.load("gate")
+        loaded = engine.load(RestoreSpec(tag="gate"))
         np.testing.assert_array_equal(loaded["model"]["w"], original)
 
 

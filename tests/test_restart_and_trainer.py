@@ -7,7 +7,7 @@ from repro.core import DataStatesCheckpointEngine, SynchronousCheckpointEngine
 from repro.exceptions import ConfigurationError, ConsistencyError, RestartError
 from repro.io import FileStore
 from repro.model import NumpyTransformerLM, tiny_config
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 from repro.training import DataConfig, RealTrainer, SyntheticTokenStream
 
 
@@ -202,7 +202,7 @@ def test_loader_validate_detects_corruption(store):
 def test_loader_load_all_returns_per_rank_state(store):
     trainer = _write_committed_checkpoint(store, "ckpt", iteration=7, seed=2)
     loader = CheckpointLoader(store)
-    states = loader.load_all("ckpt")
+    states = loader.restore(RestoreSpec.full(tag="ckpt"))
     assert set(states) == {0}
     np.testing.assert_array_equal(states[0]["model"]["wte"], trainer.model.params["wte"])
 
@@ -222,4 +222,4 @@ def test_loader_load_rank_missing_rank_raises(store):
     _write_committed_checkpoint(store, "ckpt", iteration=1)
     loader = CheckpointLoader(store)
     with pytest.raises(RestartError):
-        loader.load_rank("ckpt", rank=3)
+        loader.restore(RestoreSpec.of_rank(3, tag="ckpt"))

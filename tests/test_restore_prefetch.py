@@ -1,6 +1,6 @@
 """Restore-path tests: the prefetching load pipeline, the mmap-handle leak
-regression, ``load_all(validate=False)`` semantics, and retention edge cases
-(``keep_latest(0)``)."""
+regression, ``RestoreSpec(validate=False)`` semantics, and retention edge
+cases (``keep_latest(0)``)."""
 
 import threading
 
@@ -11,7 +11,7 @@ from repro.config import CheckpointPolicy
 from repro.core import TwoPhaseCommitCoordinator, create_real_engine
 from repro.exceptions import CheckpointError, ConsistencyError, RestartError
 from repro.io import FileStore, ObjectStore
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 
 
 def _state(seed=0, tensors=6, size=2048):
@@ -68,7 +68,7 @@ def test_failed_set_open_closes_already_opened_mmaps(tmp_path, prefetch_depth):
     store.fail_on_open = 3  # parts 1 and 2 open fine, part 3 raises
     loader = CheckpointLoader(store, prefetch_depth=prefetch_depth)
     with pytest.raises(CheckpointError, match="injected failure"):
-        loader.load_rank("ckpt", 0)
+        loader.restore(RestoreSpec.of_rank(0, tag="ckpt"))
     assert len(store.handed_out) == 2
     assert all(mapped.data.closed for mapped in store.handed_out)
 
@@ -87,7 +87,7 @@ def test_failed_validation_closes_already_opened_mmaps(tmp_path, prefetch_depth)
 
     loader = CheckpointLoader(store, prefetch_depth=prefetch_depth)
     with pytest.raises(ConsistencyError, match="checksum"):
-        loader.load_rank("ckpt", 0)
+        loader.restore(RestoreSpec.of_rank(0, tag="ckpt"))
     assert all(mapped.data.closed for mapped in store.handed_out)
 
 
@@ -96,7 +96,7 @@ def test_successful_load_closes_every_mmap(tmp_path):
     state = _state(seed=3)
     _commit(store, state, shards_per_rank=4)
     loader = CheckpointLoader(store, prefetch_depth=2)
-    loaded = loader.load_rank("ckpt", 0)
+    loaded = loader.restore(RestoreSpec.of_rank(0, tag="ckpt"))
     np.testing.assert_array_equal(loaded["model"]["w0"], state["model"]["w0"])
     assert len(store.handed_out) == 4
     assert all(mapped.data.closed for mapped in store.handed_out)
@@ -114,7 +114,7 @@ def test_prefetch_depths_load_identical_state(tmp_path, prefetch_depth, use_mmap
     _commit(store, state, shards_per_rank=3)
     loader = CheckpointLoader(store, use_mmap=use_mmap,
                               prefetch_depth=prefetch_depth)
-    states = loader.load_all("ckpt")
+    states = loader.restore(RestoreSpec.full(tag="ckpt"))
     for key, array in state["model"].items():
         np.testing.assert_array_equal(states[0]["model"][key], array)
     assert states[0]["iteration"] == 4
@@ -129,7 +129,7 @@ def test_prefetch_on_object_store(prefetch_depth):
     _commit(store, state, shards_per_rank=3)
     loader = CheckpointLoader(store, prefetch_depth=prefetch_depth)
     assert loader.use_mmap is False
-    loaded = loader.load_rank("ckpt", 0)
+    loaded = loader.restore(RestoreSpec.of_rank(0, tag="ckpt"))
     np.testing.assert_array_equal(loaded["model"]["w5"], state["model"]["w5"])
 
 
@@ -154,7 +154,7 @@ def test_prefetch_overlaps_across_ranks_in_load_all(tmp_path):
             engine.shutdown()
 
     loader = CheckpointLoader(store, prefetch_depth=3)
-    loaded = loader.load_all("ckpt")
+    loaded = loader.restore(RestoreSpec.full(tag="ckpt"))
     assert sorted(loaded) == [0, 1]
     for rank in (0, 1):
         np.testing.assert_array_equal(loaded[rank]["model"]["w1"],
@@ -167,7 +167,7 @@ def test_negative_prefetch_depth_rejected(tmp_path):
 
 
 # ---------------------------------------------------------------------------
-# load_all(validate=False) semantics (satellite bugfix)
+# RestoreSpec(validate=False) semantics (satellite bugfix)
 # ---------------------------------------------------------------------------
 
 def _corrupt_one_payload_byte(store, tag):
@@ -187,9 +187,9 @@ def test_load_all_validate_false_skips_per_shard_checks(tmp_path, use_mmap):
 
     loader = CheckpointLoader(store, use_mmap=use_mmap)
     with pytest.raises(ConsistencyError):
-        loader.load_all("ckpt", validate=True)
+        loader.restore(RestoreSpec.full(tag="ckpt", validate=True))
     # validate=False trusts the medium: the corrupted payload loads fine.
-    states = loader.load_all("ckpt", validate=False)
+    states = loader.restore(RestoreSpec.full(tag="ckpt", validate=False))
     assert states[0]["iteration"] == 6
 
 
@@ -204,7 +204,7 @@ def test_load_all_validate_false_still_checks_manifest_completeness(tmp_path):
 
     loader = CheckpointLoader(store)
     with pytest.raises((ConsistencyError, RestartError)):
-        loader.load_all("ckpt", validate=False)
+        loader.restore(RestoreSpec.full(tag="ckpt", validate=False))
 
 
 # ---------------------------------------------------------------------------

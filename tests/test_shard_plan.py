@@ -16,7 +16,7 @@ from repro.config import CheckpointPolicy
 from repro.core import ENGINE_NAMES, DataStatesCheckpointEngine, create_real_engine
 from repro.io import FileStore
 from repro.model import NumpyTransformerLM, tiny_config
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 from repro.serialization import (
     deserialize_rank_state,
     plan_shards,
@@ -134,7 +134,7 @@ def test_every_engine_multi_shard_roundtrip(engine_name, tmp_path):
 
         # Restore through the engine protocol (group-name load) and the
         # loader's rank path; both must be bit-exact.
-        for loaded in (engine.load("ms"), loader.load_rank("ms", 0)):
+        for loaded in (engine.load(RestoreSpec(tag="ms")), loader.restore(RestoreSpec.of_rank(0, tag="ms"))):
             for key, value in state["model"].items():
                 np.testing.assert_array_equal(loaded["model"][key], value)
 
@@ -180,4 +180,4 @@ def test_multi_shard_corruption_detected_per_file(tmp_path):
     with pytest.raises(ConsistencyError):
         loader.validate("corrupt")
     with pytest.raises(ConsistencyError):
-        loader.load_rank("corrupt", 0)
+        loader.restore(RestoreSpec.of_rank(0, tag="corrupt"))

@@ -25,7 +25,7 @@ from repro.io import (
     supports_shard_writer,
 )
 from repro.io.tiered import TIER_INDEX_NAME
-from repro.restart import CheckpointLoader
+from repro.restart import CheckpointLoader, RestoreSpec
 from repro.simulator import Environment
 
 
@@ -225,12 +225,12 @@ def test_restore_from_slow_tier_after_local_loss_is_byte_identical(tmp_path):
     store = _tiered(tmp_path)
     _save(store, ["ckpt-1"])
     store.wait_drained()
-    reference = CheckpointLoader(store).load_all("ckpt-1")
+    reference = CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))
 
     store.fast.delete_checkpoint("ckpt-1")  # simulated local loss
     assert store.list_committed_checkpoints() == ["ckpt-1"]
     for use_mmap in (True, False):
-        restored = CheckpointLoader(store, use_mmap=use_mmap).load_all("ckpt-1")
+        restored = CheckpointLoader(store, use_mmap=use_mmap).restore(RestoreSpec.full(tag="ckpt-1"))
         for key in ("model", "optimizer"):
             for name, array in reference[0][key].items():
                 np.testing.assert_array_equal(array, restored[0][key][name])
@@ -242,7 +242,7 @@ def test_reads_prefer_the_fast_tier(tmp_path):
     _save(store, ["ckpt-1"])
     store.wait_drained()
     before = store.slow.get_count
-    CheckpointLoader(store).load_all("ckpt-1")
+    CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))
     assert store.slow.get_count == before  # served entirely from the fast tier
     store.close()
 
@@ -258,10 +258,10 @@ def test_promote_on_read_rehydrates_fast_tier(tmp_path):
     store = _tiered(tmp_path)
     _save(store, ["ckpt-1"])
     store.wait_drained()
-    reference = CheckpointLoader(store).load_all("ckpt-1")
+    reference = CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))
     store.fast.delete_checkpoint("ckpt-1")  # simulated local loss
 
-    restored = CheckpointLoader(store).load_all("ckpt-1")
+    restored = CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))
     for name, array in reference[0]["model"].items():
         np.testing.assert_array_equal(array, restored[0]["model"][name])
     # Promotion rehydrated the fast tier with the commit invariant intact.
@@ -274,7 +274,7 @@ def test_promote_on_read_rehydrates_fast_tier(tmp_path):
 
     # The next restore never touches the slow tier again.
     before = store.slow.get_count
-    CheckpointLoader(store).load_all("ckpt-1")
+    CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))
     assert store.slow.get_count == before
     store.close()
 
@@ -284,7 +284,7 @@ def test_promote_on_read_can_be_disabled(tmp_path):
     _save(store, ["ckpt-1"])
     store.wait_drained()
     store.fast.delete_checkpoint("ckpt-1")
-    CheckpointLoader(store).load_all("ckpt-1")
+    CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))
     assert store.fast.list_committed_checkpoints() == []
     assert store.drain_metrics()["promoted_parts"] == 0
     store.close()
@@ -302,7 +302,7 @@ def test_promotion_failure_never_fails_the_read(tmp_path, monkeypatch):
         raise OSError("read-only file system")
 
     monkeypatch.setattr(store.fast, "write_shard", broken)
-    restored = CheckpointLoader(store).load_all("ckpt-1")
+    restored = CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))
     assert 0 in restored
     assert store.fast.list_committed_checkpoints() == []
     assert store.drain_metrics()["promoted_checkpoints"] == 0
@@ -369,7 +369,7 @@ def test_crash_mid_drain_restores_from_fast_and_resumes_idempotently(tmp_path):
     assert any(key.endswith(".shard") for key in slow.keys())
     assert slow.list_committed_checkpoints() == []
     assert store.drain_status("ckpt-1") is DrainState.LOCAL
-    reference = CheckpointLoader(store).load_all("ckpt-1")
+    reference = CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))
     assert 0 in reference
 
     # "Restart": a new TieredStore over the same tiers resumes the drain.
@@ -505,13 +505,13 @@ def test_loader_uses_ranged_fetches_on_the_slow_tier(tmp_path):
     store = _tiered(tmp_path)
     _save(store, ["ckpt-1"])
     store.wait_drained()
-    reference = CheckpointLoader(store).load_all("ckpt-1")
+    reference = CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))
     store.fast.delete_checkpoint("ckpt-1")
 
     slow = store.slow
     before = slow.get_count
     loader = CheckpointLoader(store, use_mmap=False, range_fetch_bytes=1024)
-    restored = loader.load_all("ckpt-1")
+    restored = loader.restore(RestoreSpec.full(tag="ckpt-1"))
     nbytes = slow.total_bytes("ckpt-1")
     assert slow.get_count - before >= nbytes // 1024  # many ranged GETs
     np.testing.assert_array_equal(reference[0]["model"]["w"],
@@ -519,7 +519,7 @@ def test_loader_uses_ranged_fetches_on_the_slow_tier(tmp_path):
 
     # range_fetch_bytes=0 disables ranged fetching: whole-object GETs again.
     before = slow.get_count
-    CheckpointLoader(store, use_mmap=False, range_fetch_bytes=0).load_all("ckpt-1")
+    CheckpointLoader(store, use_mmap=False, range_fetch_bytes=0).restore(RestoreSpec.full(tag="ckpt-1"))
     assert slow.get_count - before < nbytes // 1024
     store.close()
 
@@ -662,7 +662,7 @@ def test_exhausted_drain_retries_surface_in_counters_and_wait(tmp_path):
     assert metrics["drained_checkpoints"] == 0
     assert store.drain_status("ckpt-000") is DrainState.LOCAL
     # The commit invariant holds: the fast tier still restores bit-exactly.
-    loaded = CheckpointLoader(store).load_all("ckpt-000")
+    loaded = CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-000"))
     np.testing.assert_array_equal(loaded[0]["model"]["w"], _state(0)["model"]["w"])
 
 
