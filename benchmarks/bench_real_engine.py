@@ -371,6 +371,61 @@ def _measure_tiered_drain_sweep(bench_dir, state, workers_values, rounds=2):
     return sweep
 
 
+def _measure_tier_chain_drain(bench_dir, state, rounds=2):
+    """Commit latency and backpressure stall of a capacity-bounded 3-level
+    chain (best of ``rounds``).
+
+    Level 0 fits ~1.2 checkpoints and the middle tier ~1.5, so the second
+    save can only commit once the first drained deep enough to be evicted
+    off the fast tier: ``commit_seconds`` is the training-visible latency of
+    the *first* (ungated) save and is regression-gated; ``drain_wait_ms``
+    is the chain's backpressure counter over both saves and rides along
+    ungated (it measures how hard the middle tier throttled, which swings
+    with runner I/O).
+    """
+    from repro.io import TierChain, TierLevel
+
+    total_bytes = sum(arr.nbytes for arr in state.values())
+    policy = CheckpointPolicy(host_buffer_size=2 * total_bytes,
+                              parallel_shard_writes=True)
+    best = {"commit_seconds": float("inf"), "drained_seconds": float("inf")}
+    drain_wait_ms = 0.0
+    for round_index in range(rounds):
+        base = bench_dir / f"tier-chain-{round_index}"
+        chain = TierChain([
+            TierLevel(FileStore(base / "nvme"), name="nvme",
+                      capacity_bytes=int(1.2 * total_bytes)),
+            TierLevel(FileStore(base / "pfs"), name="pfs",
+                      capacity_bytes=int(1.5 * total_bytes)),
+            TierLevel(ObjectStore(bucket=f"chain-bench-{round_index}"),
+                      name="object"),
+        ], keep_local_latest=None, drain_backoff_s=0.005)
+        engine = DataStatesCheckpointEngine(chain, policy=policy)
+        try:
+            start = time.perf_counter()
+            handle = engine.save(state, tag="chain-0", iteration=0)
+            handle.wait_durable(timeout=300.0)
+            commit = time.perf_counter() - start
+            # The second save lands against a fast tier still holding the
+            # first: its flush gates at the watermark until the drain (and
+            # the eviction it unlocks) frees headroom.
+            engine.save(state, tag="chain-1", iteration=1).wait_durable(
+                timeout=300.0)
+            engine.wait_all()
+            chain.wait_drained(timeout=300.0)
+            drained = time.perf_counter() - start
+            metrics = chain.drain_metrics()
+            best["commit_seconds"] = min(best["commit_seconds"], commit)
+            best["drained_seconds"] = min(best["drained_seconds"], drained)
+            drain_wait_ms = max(drain_wait_ms, metrics["drain_wait_ms"])
+        finally:
+            engine.shutdown()
+            chain.close()
+    best["drain_wait_ms"] = drain_wait_ms
+    best["levels"] = 3
+    return best
+
+
 def _mutate_half(state, seed=23):
     """Half the tensors regenerated (the 'optimizer moved, model frozen'
     shape of a real incremental step); the other half byte-identical."""
@@ -579,6 +634,11 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
             "workers": _measure_tiered_drain_sweep(bench_dir, state, (1, 2, 4)),
         }
 
+        # N-level chain: commit latency and backpressure stall when the fast
+        # and middle tiers are capacity-bounded (watermark eviction + the
+        # commit gate are on the measured path).
+        tier_chain = _measure_tier_chain_drain(bench_dir, state)
+
         # Content-addressed store: bytes moved by a full save into a cold
         # chunk pool vs an incremental save with half the tensors mutated.
         dedup_sweep = _measure_dedup_incremental(bench_dir, state)
@@ -594,6 +654,7 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
             "shards_per_rank_sweep": shards_sweep,
             "restore_prefetch_sweep": prefetch_sweep,
             "tiered_drain_sweep": drain_sweep,
+            "tier_chain_drain": tier_chain,
             "dedup_incremental_sweep": dedup_sweep,
             "reshape_restore": reshape_restore,
             "flush": flush,
@@ -667,6 +728,17 @@ def test_io_fastpath_benchmark(benchmark, emit, tmp_path):
             "MB/s": round(results["shard_bytes"] / row["commit_seconds"] / 1e6, 1),
             "seconds": f"{row['commit_seconds']:.4f} / {row['drained_seconds']:.4f}",
         })
+    chain = results["tier_chain_drain"]
+    rows.append({
+        "path": f"tier chain ({chain['levels']} levels, capped) commit / drained",
+        "MB/s": round(results["shard_bytes"] / chain["commit_seconds"] / 1e6, 1),
+        "seconds": f"{chain['commit_seconds']:.4f} / {chain['drained_seconds']:.4f}",
+    })
+    rows.append({
+        "path": "tier chain backpressure drain-wait",
+        "MB/s": "-",
+        "seconds": round(chain["drain_wait_ms"] / 1e3, 4),
+    })
     dedup = results["dedup_incremental_sweep"]
     rows.append({
         "path": "cas full save (cold pool)",

@@ -12,7 +12,10 @@ more than the threshold (default 25%):
   latency of the tiered store; its background ``drained_seconds`` ride along
   ungated, like ``restore``/``save_stall`` — single-shot measurements whose
   throughput on shared CI VMs swings by 2-3x between runs of identical
-  code), and the ``dedup_incremental_sweep`` full/incremental save times of
+  code), the ``tier_chain_drain`` commit time of the capacity-bounded
+  3-level chain (its ``drain_wait_ms`` backpressure counter rides along
+  ungated — how hard the middle tier throttles swings with runner I/O),
+  and the ``dedup_incremental_sweep`` full/incremental save times of
   the content-addressed store (its byte counters are asserted inside the
   bench itself — they are deterministic and need no noise margin).
 
@@ -110,6 +113,9 @@ def _fastpath_metrics(data: Dict) -> Iterator[Tuple[str, float]]:
         if "commit_seconds" in row:
             yield (f"tiered_drain_sweep[{workers}].commit_seconds",
                    float(row["commit_seconds"]))
+    value = data.get("tier_chain_drain", {}).get("commit_seconds")
+    if value is not None:
+        yield "tier_chain_drain.commit_seconds", float(value)
     for key in ("full_save_seconds", "incremental_save_seconds"):
         value = data.get("dedup_incremental_sweep", {}).get(key)
         if value is not None:

@@ -28,10 +28,11 @@ def _store_location(store, store_backend: str) -> str:
     job_id = getattr(store, "job_id", None)
     if job_id is not None and getattr(store, "inner", None) is not None:
         return f"cas://{job_id}@{_store_location(store.inner, 'pool')}"
-    fast = getattr(store, "fast", None)
-    if fast is not None:
-        return (f"tiered://{_store_location(fast, 'fast')} -> "
-                f"{_store_location(store.slow, 'slow')}")
+    levels = getattr(store, "levels", None)
+    if levels is not None and getattr(store, "fast", None) is not None:
+        return "tiered://" + " -> ".join(
+            _store_location(level.store, name)
+            for level, name in zip(levels, store.level_names))
     root = getattr(store, "root", None)
     if root is not None:
         return str(root)
@@ -71,6 +72,8 @@ def run_real_engine(
         kwargs.setdefault("keep_local_latest", policy.keep_local_latest)
         kwargs.setdefault("drain_retries", policy.drain_retries)
         kwargs.setdefault("drain_backoff_s", policy.drain_backoff_s)
+        if policy.tiers is not None:
+            kwargs.setdefault("tiers", policy.tiers)
     store = create_store(store_backend, root=Path(workdir) / name, **kwargs)
     engine = create_real_engine(name, store, policy=policy)
     with engine:
@@ -172,6 +175,11 @@ def comparison_table_rows(rows: Sequence[Dict[str, object]]) -> List[Dict[str, o
             entry["drain_wait_ms"] = (
                 round(float(drain["drain_wait_seconds"]) * 1e3, 3)
                 if drain.get("drain_wait_seconds") is not None else None)
+            # Backpressure: total time commits spent blocked at the fast
+            # tier's watermark (0 unless a level capacity was configured).
+            entry["commit_stall_ms"] = (
+                round(float(drain["drain_wait_ms"]), 3)
+                if drain.get("drain_wait_ms") is not None else None)
         if with_dedup:
             dedup = row.get("dedup") or {}
             entry["bytes_written"] = dedup.get("bytes_written")

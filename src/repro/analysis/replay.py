@@ -157,7 +157,8 @@ def _restore_seconds(store_name: str, failure_kind: str,
 
 
 def replay_config(trace: FailureTrace, calibration: Dict[str, float],
-                  store_name: str, platform: PlatformSpec) -> Dict[str, object]:
+                  store_name: str, platform: PlatformSpec,
+                  tier_links: Optional[Sequence[float]] = None) -> Dict[str, object]:
     """Walk one trace against one calibrated (engine, store) configuration.
 
     The walk is a pure function of its inputs: uptime segments between
@@ -167,25 +168,40 @@ def replay_config(trace: FailureTrace, calibration: Dict[str, float],
     next segment starts.  Failures striking while a restart is still in
     progress are absorbed into it (the fleet is already down).
 
-    Tiered stores additionally model the **drain lag**: a checkpoint is only
-    as durable as the slow tier until its background drain completes, so a
-    node failure striking while the newest checkpoint is still DRAINING
-    (within ``drain_lag`` seconds of it) loses that checkpoint's fast-tier
-    copy with the node — work is preserved only up to the last REPLICATED
-    checkpoint, one period earlier.
+    Tiered stores additionally model the **per-link drain lag**: a
+    checkpoint is only as durable as the deepest chain level it has fully
+    reached when its node dies.  ``tier_links`` gives each drain link's
+    aggregate bandwidth, shallowest first (default for ``tiered``: the
+    single fast->slow link over the fleet's NICs, bounded by the slow
+    tier's aggregate service rate); the cumulative lag of link ``i`` is how
+    long a checkpoint stays un-replicated past level ``i``.  Losing a node
+    within the *first* link's lag loses the newest checkpoint entirely —
+    its only copy was the dead node's level 0 — so work is preserved only
+    up to the previous checkpoint; once any off-node level holds it
+    (``delta >= lags[0]``) it survives the node.  The cumulative per-link
+    lags are reported as ``drain_link_lag_seconds`` so chain sizing (where
+    does the loss window open up?) is readable off the row.
     """
     period = calibration["checkpoint_period_seconds"]
     effective_iter = calibration["effective_iteration_seconds"]
     progress_rate = calibration["iteration_seconds"] / effective_iter
     total_bytes = calibration["checkpoint_bytes_per_gpu"] * trace.nodes * platform.gpus_per_node
 
-    drain_lag = 0.0
-    if store_name == "tiered":
+    if tier_links is None and store_name == "tiered":
         # The drain streams the whole checkpoint to the slow tier over the
         # fleet's NICs, bounded by the slow tier's aggregate service rate.
-        drain_bandwidth = min(trace.nodes * platform.nic_bandwidth,
-                              platform.pfs_aggregate_bandwidth)
-        drain_lag = total_bytes / drain_bandwidth
+        tier_links = [min(trace.nodes * platform.nic_bandwidth,
+                          platform.pfs_aggregate_bandwidth)]
+    link_lags: List[float] = []
+    elapsed = 0.0
+    for bandwidth in tier_links or ():
+        if bandwidth <= 0:
+            raise ConfigurationError("tier_links bandwidths must be positive")
+        # Links drain sequentially per checkpoint: level i+1 only starts
+        # receiving once level i holds the full checkpoint.
+        elapsed += total_bytes / bandwidth
+        link_lags.append(elapsed)
+    drain_lag = link_lags[0] if link_lags else 0.0
 
     horizon = trace.horizon_s
     segment_start = 0.0
@@ -240,6 +256,7 @@ def replay_config(trace: FailureTrace, calibration: Dict[str, float],
                                          if restarts else 0.0),
         "restore_seconds_mean": (restore_latency_total / restarts
                                  if restarts else 0.0),
+        "drain_link_lag_seconds": link_lags,
         "checkpoint_period_seconds": period,
         "stall_seconds_per_checkpoint": calibration["stall_seconds_per_checkpoint"],
     }

@@ -163,6 +163,12 @@ def _store_parent() -> argparse.ArgumentParser:
                             "tier), 'cas' (content-addressed chunks with "
                             "namespaces + dedup), or any register_store() "
                             "name")
+    group.add_argument("--tiers", default=None, metavar="SPEC",
+                       help="tiered only: N-level tier chain spec, "
+                            "'name:backend[:root][:capacity[@watermark]]' "
+                            "per level, comma-separated (e.g. "
+                            "'nvme:file:/a:50GiB,pfs:file:/b,object:object'); "
+                            "replaces --fast-store/--slow-store")
     group.add_argument("--fast-store", type=_store_name, default="file",
                        metavar="NAME",
                        help="tiered only: backend of the fast tier "
@@ -203,7 +209,8 @@ def _store_parent() -> argparse.ArgumentParser:
     group.add_argument("--prefetch-depth", type=int, default=None,
                        help="restore-side prefetch workers fetching+validating "
                             "shard parts ahead of deserialization "
-                            "(0 disables; default: policy default)")
+                            "(0 = auto from measured timings, 1 = serial; "
+                            "default: policy default)")
     return parent
 
 
@@ -399,6 +406,7 @@ def _store_kwargs(args: argparse.Namespace) -> Optional[dict]:
     here rather than being silently ignored.
     """
     tiered_flags = (args.fast_store != "file" or args.slow_store != "object"
+                    or args.tiers is not None
                     or args.drain_workers is not None
                     or args.keep_local_latest is not None
                     or args.drain_retries is not None
@@ -407,9 +415,9 @@ def _store_kwargs(args: argparse.Namespace) -> Optional[dict]:
                  or args.incremental)
     if args.store != "tiered" and tiered_flags:
         raise SystemExit(
-            "--fast-store/--slow-store/--drain-workers/--keep-local-latest/"
-            "--drain-retries/--drain-backoff only apply to --store tiered "
-            f"(got --store {args.store})")
+            "--tiers/--fast-store/--slow-store/--drain-workers/"
+            "--keep-local-latest/--drain-retries/--drain-backoff only apply "
+            f"to --store tiered (got --store {args.store})")
     if args.store != "cas" and cas_flags:
         raise SystemExit(
             "--inner-store/--namespace/--incremental only apply to "
@@ -424,7 +432,7 @@ def _store_kwargs(args: argparse.Namespace) -> Optional[dict]:
     policy_defaults = CheckpointPolicy()
     keep = (policy_defaults.keep_local_latest if args.keep_local_latest is None
             else args.keep_local_latest)
-    return {
+    kwargs = {
         "fast_store": args.fast_store,
         "slow_store": args.slow_store,
         "drain_workers": (policy_defaults.drain_workers
@@ -436,6 +444,9 @@ def _store_kwargs(args: argparse.Namespace) -> Optional[dict]:
         "drain_backoff_s": (policy_defaults.drain_backoff_s
                             if args.drain_backoff is None else args.drain_backoff),
     }
+    if args.tiers is not None:
+        kwargs["tiers"] = args.tiers
+    return kwargs
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -529,16 +540,35 @@ def _open_store(args: argparse.Namespace, workdir: str):
                         **(_store_kwargs(args) or {}))
 
 
+def _residency_cell(store, tag: str) -> Optional[str]:
+    """Tier-residency display for one checkpoint, or None off tiered stores.
+
+    ``all`` when the checkpoint has reached every level of the chain, else
+    the ``+``-joined names of the levels holding a committed copy (e.g.
+    ``nvme+pfs`` while the object level is still draining).
+    """
+    if not callable(getattr(store, "residency_names", None)):
+        return None
+    names = store.residency_names(tag)
+    if not names:
+        return "-"
+    if names == store.level_names:
+        return "all"
+    return "+".join(names)
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from .restart import CheckpointLoader
 
-    loader = CheckpointLoader(_open_store(args, args.workdir))
+    store = _open_store(args, args.workdir)
+    loader = CheckpointLoader(store)
     infos = loader.committed_checkpoints()
     if not infos:
         print(f"no committed checkpoints in {args.workdir}")
         return 0
-    rows = [
-        {
+    rows = []
+    for info in infos:
+        row = {
             "tag": info.tag,
             "iteration": info.iteration,
             "world": info.world_size,
@@ -549,8 +579,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
             "topology": info.topology.describe() if info.topology else "-",
             "schema": f"v{info.version}",
         }
-        for info in infos
-    ]
+        residency = _residency_cell(store, info.tag)
+        if residency is not None:
+            row["tiers"] = residency
+        rows.append(row)
     print(format_table(rows, title=f"Committed checkpoints — {args.workdir}"))
     return 0
 

@@ -243,8 +243,10 @@ class CheckpointPolicy:
     #: Restore-side prefetch: how many shard parts the loader's bounded
     #: fetch + CRC-validate stage keeps in flight ahead of deserialization,
     #: overlapping I/O with reassembly across the shard-set (and across
-    #: ranks in ``load_all``).  ``0`` disables prefetching (strictly serial
-    #: fetch -> validate -> deserialize).
+    #: ranks in ``load_all``).  ``0`` selects auto mode: the loader measures
+    #: per-part fetch vs deserialize time and picks the depth from the
+    #: overlap ratio; ``1`` is strictly serial fetch -> validate ->
+    #: deserialize.
     prefetch_depth: int = DEFAULT_PREFETCH_DEPTH
     #: Tiered store: number of background workers draining committed
     #: checkpoints from the fast tier to the slow tier (only consulted when
@@ -261,6 +263,12 @@ class CheckpointPolicy:
     #: Tiered store: base delay of the drain's exponential backoff in
     #: seconds (attempt ``k`` sleeps ``drain_backoff_s * 2**k``).
     drain_backoff_s: float = DEFAULT_DRAIN_BACKOFF_S
+    #: Tiered store: N-level chain spec
+    #: (``"nvme:file:/a:50GiB,pfs:file:/b,object:object"``, see
+    #: :func:`repro.io.parse_tier_chain_spec`).  ``None`` keeps the classic
+    #: two-level fast/slow pair; only consulted when the engine's store is
+    #: built from this policy (``repro.analysis.real_compare``, the CLI).
+    tiers: "str | None" = None
     #: Incremental checkpoints (CAS store): before writing, compare each
     #: shard part's per-tensor CRC32s (and the folded whole-part checksum)
     #: against the previous committed manifest and record unchanged parts as

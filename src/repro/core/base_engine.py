@@ -279,13 +279,19 @@ class CheckpointEngine(abc.ABC):
     # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, float]:
         """Operational counters (engines extend this with their own)."""
-        return {
+        counters = {
             "engine": self.name,
             "rank": self.rank,
             "checkpoints_requested": self._checkpoints_requested,
             "parts_referenced": self._parts_referenced,
             "bytes_referenced": self._bytes_referenced,
         }
+        # Tier-chain backpressure: total ms this engine's commits spent
+        # blocked at the fast tier's capacity watermark.
+        drain_wait_ms = getattr(self.store, "drain_wait_ms", None)
+        if drain_wait_ms is not None:
+            counters["drain_wait_ms"] = float(drain_wait_ms)
+        return counters
 
     # ---------------------------------------------------------------- helpers
     def default_shard_name(self) -> str:

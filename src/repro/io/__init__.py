@@ -1,8 +1,9 @@
 """Storage backends: the pluggable shard-store protocol and its registry
 (:class:`ShardStore`, :func:`create_store`), the real POSIX file store, the
-in-memory S3-like object store, the tiered fast/slow composition with its
-background drain pipeline, the content-addressed multi-tenant store, and the
-simulated NVMe/Lustre/tiered/CAS models."""
+in-memory S3-like object store, the N-level tier chain with its background
+per-link drain pipeline (the classic fast/slow pair is its two-level form),
+the content-addressed multi-tenant store, and the simulated
+NVMe/Lustre/tiered/CAS models."""
 
 from .cas import DEFAULT_CHUNK_BYTES, DEFAULT_NAMESPACE, CASStore
 from .faultstore import FaultPlan, FaultyStore, InjectedProcessKill
@@ -20,10 +21,12 @@ from .sim_storage import (
     SimContentAddressedStorage,
     SimNodeLocalStorage,
     SimParallelFileSystem,
+    SimTierChainStorage,
     SimTieredStorage,
     make_cas_storage,
     make_node_local_storage,
     make_parallel_fs,
+    make_tier_chain_storage,
     make_tiered_storage,
 )
 from .store import (
@@ -39,7 +42,14 @@ from .store import (
     supports_shard_reference,
     supports_shard_writer,
 )
-from .tiered import DrainState, TieredStore
+from .tiered import (
+    DrainState,
+    TierChain,
+    TierChainLevelSpec,
+    TieredStore,
+    TierLevel,
+    parse_tier_chain_spec,
+)
 
 __all__ = [
     "ShardStore",
@@ -68,15 +78,21 @@ __all__ = [
     "FaultyStore",
     "InjectedProcessKill",
     "TieredStore",
+    "TierChain",
+    "TierLevel",
+    "TierChainLevelSpec",
+    "parse_tier_chain_spec",
     "DrainState",
     "FlushTask",
     "FlushWorkerPool",
     "SimParallelFileSystem",
     "SimNodeLocalStorage",
     "SimTieredStorage",
+    "SimTierChainStorage",
     "SimContentAddressedStorage",
     "make_parallel_fs",
     "make_node_local_storage",
     "make_tiered_storage",
+    "make_tier_chain_storage",
     "make_cas_storage",
 ]

@@ -149,6 +149,109 @@ class SimTieredStorage:
                 event.succeed(self.metrics())
 
 
+@dataclass
+class SimTierChainStorage:
+    """Per-link drain-bandwidth model of an N-level tier chain.
+
+    The simulated mirror of :class:`~repro.io.TierChain`, generalizing
+    :class:`SimTieredStorage` from one drain link to a cascade: a write
+    *commits* once level 0 absorbed it, then the same bytes are drained link
+    by link (level 0 -> 1 -> ... -> N-1), each link contending on its own
+    level's bandwidth model.  ``link_backlog_bytes[i]`` tracks how far level
+    ``i+1`` lags level ``i`` — the loss-window structure the replay model
+    consumes: a checkpoint is only as durable as the deepest level it has
+    fully reached when its node dies.
+
+    ``levels`` are bandwidth models exposing ``write(nbytes, tag=...) ->
+    Event`` (:class:`SimNodeLocalStorage`, :class:`SimParallelFileSystem`,
+    ...), shallowest first.
+    """
+
+    env: Environment
+    levels: List[object]
+    bytes_committed: float = 0.0
+    bytes_drained: float = 0.0
+    backlog_bytes: float = 0.0
+    max_backlog_bytes: float = 0.0
+    drains_completed: int = 0
+    link_bytes_drained: List[float] = field(default_factory=list)
+    link_backlog_bytes: List[float] = field(default_factory=list)
+    _idle_waiters: List[Event] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        from ..exceptions import ConfigurationError
+
+        if len(self.levels) < 2:
+            raise ConfigurationError(
+                "SimTierChainStorage needs at least two levels")
+        links = len(self.levels) - 1
+        self.link_bytes_drained = [0.0] * links
+        self.link_backlog_bytes = [0.0] * links
+
+    def write(self, nbytes: float, tag: Optional[str] = None) -> Event:
+        """Write ``nbytes``; the returned event fires at level-0 commit and
+        the cascade of link drains proceeds asynchronously."""
+        self.bytes_committed += nbytes
+        self.backlog_bytes += nbytes
+        self.max_backlog_bytes = max(self.max_backlog_bytes, self.backlog_bytes)
+        for index in range(len(self.link_backlog_bytes)):
+            self.link_backlog_bytes[index] += nbytes
+        commit = self.levels[0].write(nbytes, tag=tag or "chain-commit")
+        commit._add_callback(lambda _event: self._start_link(0, nbytes, tag))
+        return commit
+
+    def read(self, nbytes: float, level: int = 0,
+             tag: Optional[str] = None) -> Event:
+        """Nearest-level restore: read from the given level's model."""
+        model = self.levels[level]
+        if isinstance(model, SimParallelFileSystem):
+            return model.read(nbytes, tag=tag or "chain-read")
+        return model.link.transfer(nbytes, tag=tag or "chain-read")
+
+    def drained(self) -> Event:
+        """An event that fires once every link's backlog is empty."""
+        event = Event(self.env)
+        if self.backlog_bytes <= 0:
+            event.succeed(self.metrics())
+        else:
+            self._idle_waiters.append(event)
+        return event
+
+    def metrics(self) -> Dict[str, float]:
+        """Drain counters (mirrors :meth:`repro.io.TierChain.drain_metrics`)."""
+        return {
+            "bytes_committed": self.bytes_committed,
+            "bytes_drained": self.bytes_drained,
+            "backlog_bytes": self.backlog_bytes,
+            "max_backlog_bytes": self.max_backlog_bytes,
+            "drains_completed": self.drains_completed,
+            "link_bytes_drained": list(self.link_bytes_drained),
+            "link_backlog_bytes": list(self.link_backlog_bytes),
+        }
+
+    def _start_link(self, link: int, nbytes: float, tag: Optional[str]) -> None:
+        done = self.levels[link + 1].write(
+            nbytes, tag=f"drain{link}:{tag}" if tag else f"chain-drain{link}")
+        done._add_callback(lambda _event: self._on_link_drained(link, nbytes))
+
+    def _on_link_drained(self, link: int, nbytes: float) -> None:
+        self.link_bytes_drained[link] += nbytes
+        self.link_backlog_bytes[link] = max(
+            0.0, self.link_backlog_bytes[link] - nbytes)
+        if link + 1 < len(self.link_backlog_bytes):
+            self._start_link(link + 1, nbytes, None)
+            return
+        # The deepest level absorbed the bytes: the checkpoint is fully
+        # replicated down the chain.
+        self.bytes_drained += nbytes
+        self.backlog_bytes = max(0.0, self.backlog_bytes - nbytes)
+        self.drains_completed += 1
+        if self.backlog_bytes <= 0 and self._idle_waiters:
+            waiters, self._idle_waiters = self._idle_waiters, []
+            for event in waiters:
+                event.succeed(self.metrics())
+
+
 #: Default chunk-hashing (and restore-verify) throughput of the simulated
 #: content-addressed layer — one CPU core streaming SHA-256.
 DEFAULT_CAS_HASH_BANDWIDTH = 2.0 * 1024**3
@@ -289,6 +392,40 @@ def make_tiered_storage(env: Environment, platform: PlatformSpec, node_id: int,
     )
     slow = shared_pfs if shared_pfs is not None else make_parallel_fs(env, platform)
     return SimTieredStorage(env=env, fast=fast, slow=slow)
+
+
+def make_tier_chain_storage(env: Environment, platform: PlatformSpec,
+                            node_id: int,
+                            shared_pfs: Optional[SimParallelFileSystem] = None,
+                            object_bandwidth: Optional[float] = None
+                            ) -> SimTierChainStorage:
+    """Create one node's 3-level chain model: NVMe -> shared PFS -> object.
+
+    The NVMe commit tier and the PFS middle tier share their calibration
+    with :func:`make_tiered_storage`; the deepest (object-store) tier is
+    reached over the node's NIC, so its drain link is capped at
+    ``object_bandwidth`` (default: the platform's NIC bandwidth).  As with
+    the two-level model, multi-node simulations must share one PFS
+    (``shared_pfs``) so concurrent drains contend for its aggregate
+    bandwidth.
+    """
+    from ..memory import TierKind, default_hierarchy
+
+    hierarchy = default_hierarchy(platform, platform.host_memory // 8)
+    nvme = hierarchy[TierKind.NODE_LOCAL_NVME]
+    fast = SimNodeLocalStorage(
+        env=env,
+        link=FairShareLink(env, capacity=nvme.write_bandwidth,
+                           name=f"chain-nvme-node{node_id}"),
+    )
+    middle = shared_pfs if shared_pfs is not None else make_parallel_fs(env, platform)
+    deep = SimNodeLocalStorage(
+        env=env,
+        link=FairShareLink(env,
+                           capacity=object_bandwidth or platform.nic_bandwidth,
+                           name=f"chain-object-node{node_id}"),
+    )
+    return SimTierChainStorage(env=env, levels=[fast, middle, deep])
 
 
 def make_cas_storage(env: Environment, platform: PlatformSpec, node_id: int,

@@ -141,29 +141,79 @@ _UNSET = object()
 def _make_tiered_store(root=None, fsync: bool = False, fast_store: str = "file",
                        slow_store: str = "object", drain_workers=_UNSET,
                        keep_local_latest=_UNSET, drain_retries=_UNSET,
-                       drain_backoff_s=_UNSET, **kwargs) -> ShardStore:
-    """Compose a :class:`~repro.io.TieredStore` from two registry backends.
+                       drain_backoff_s=_UNSET, tiers=None, **kwargs) -> ShardStore:
+    """Compose a tiered store from registry backends.
 
-    The fast tier lives under ``root/fast`` (its sidecar tier-index next to
-    the checkpoint directories), the slow tier under ``root/slow`` when it is
-    directory-backed or a ``<root>-remote`` bucket label otherwise.  Any
-    registered pair of names works, so e.g. ``fast_store="object"`` builds an
-    all-in-memory tier pair for tests.  ``keep_local_latest=None`` passes
-    through as TieredStore's "never evict" mode.  ``drain_retries`` /
-    ``drain_backoff_s`` configure the bounded retry-with-backoff applied to
-    transient slow-tier failures during the background drain.
+    With ``tiers=None`` (the default) this builds the classic two-level
+    :class:`~repro.io.TieredStore`: the fast tier under ``root/fast`` (its
+    sidecar tier-index next to the checkpoint directories), the slow tier
+    under ``root/slow`` when it is directory-backed or a ``<root>-remote``
+    bucket label otherwise.  Any registered pair of names works, so e.g.
+    ``fast_store="object"`` builds an all-in-memory tier pair for tests.
+    ``keep_local_latest=None`` passes through as TieredStore's "never evict"
+    mode.  ``drain_retries`` / ``drain_backoff_s`` configure the bounded
+    retry-with-backoff applied to transient deeper-tier failures during the
+    background drain.
+
+    ``tiers`` selects the N-level :class:`~repro.io.TierChain` instead: a
+    chain spec string (``"nvme:file:/a:50GiB,pfs:file:/b,object:object"``,
+    see :func:`~repro.io.parse_tier_chain_spec`) or a pre-parsed sequence of
+    :class:`~repro.io.TierChainLevelSpec`.  Levels without an explicit root
+    live under ``root/<name>`` (file) or a ``<root>-<name>`` bucket label
+    (object); ``fast_store`` / ``slow_store`` are ignored on this path.
     """
     from .tiered import (
         DEFAULT_DRAIN_BACKOFF_S,
         DEFAULT_DRAIN_RETRIES,
         DEFAULT_DRAIN_WORKERS,
         DEFAULT_KEEP_LOCAL_LATEST,
+        DEFAULT_TIER_WATERMARK,
+        TierChain,
         TieredStore,
+        TierLevel,
+        parse_tier_chain_spec,
     )
 
     if root is None:
         raise ConfigurationError("the 'tiered' store needs a root directory")
     root = Path(root)
+    resolved_workers = (DEFAULT_DRAIN_WORKERS if drain_workers is _UNSET
+                        else int(drain_workers))
+    resolved_keep = (DEFAULT_KEEP_LOCAL_LATEST if keep_local_latest is _UNSET
+                     else keep_local_latest)
+    resolved_retries = (DEFAULT_DRAIN_RETRIES if drain_retries is _UNSET
+                        else int(drain_retries))
+    resolved_backoff = (DEFAULT_DRAIN_BACKOFF_S if drain_backoff_s is _UNSET
+                        else float(drain_backoff_s))
+    if tiers is not None:
+        entries = (parse_tier_chain_spec(tiers) if isinstance(tiers, str)
+                   else list(tiers))
+        levels = []
+        for entry in entries:
+            backend = canonical_store_name(entry.backend)
+            if backend in ("tiered", "faulty"):
+                raise ConfigurationError(
+                    f"tier chain level {entry.name!r} cannot use the "
+                    f"{backend!r} backend")
+            if entry.root is not None:
+                level_root = entry.root
+            elif backend == "file":
+                level_root = root / entry.name
+            else:
+                level_root = f"{root.name}-{entry.name}"
+            levels.append(TierLevel(
+                store=create_store(backend, root=level_root, fsync=fsync),
+                name=entry.name,
+                capacity_bytes=entry.capacity_bytes,
+                watermark=(entry.watermark if entry.watermark is not None
+                           else DEFAULT_TIER_WATERMARK),
+            ))
+        return TierChain(
+            levels,
+            drain_workers=resolved_workers, keep_local_latest=resolved_keep,
+            drain_retries=resolved_retries, drain_backoff_s=resolved_backoff,
+            fsync=fsync, **kwargs,
+        )
     fast_name = canonical_store_name(fast_store)
     slow_name = canonical_store_name(slow_store)
     if "tiered" in (fast_name, slow_name):
@@ -172,14 +222,10 @@ def _make_tiered_store(root=None, fsync: bool = False, fast_store: str = "file",
     return TieredStore(
         fast=create_store(fast_name, root=root / "fast", fsync=fsync),
         slow=create_store(slow_name, root=slow_root, fsync=fsync),
-        drain_workers=DEFAULT_DRAIN_WORKERS if drain_workers is _UNSET
-        else int(drain_workers),
-        keep_local_latest=DEFAULT_KEEP_LOCAL_LATEST if keep_local_latest is _UNSET
-        else keep_local_latest,
-        drain_retries=DEFAULT_DRAIN_RETRIES if drain_retries is _UNSET
-        else int(drain_retries),
-        drain_backoff_s=DEFAULT_DRAIN_BACKOFF_S if drain_backoff_s is _UNSET
-        else float(drain_backoff_s),
+        drain_workers=resolved_workers,
+        keep_local_latest=resolved_keep,
+        drain_retries=resolved_retries,
+        drain_backoff_s=resolved_backoff,
         fsync=fsync,
         **kwargs,
     )

@@ -28,8 +28,12 @@ the CLI ``--prefetch-depth`` flag) fetches and CRC-validates shard parts
 ahead of deserialization, so a one-rank restore overlaps I/O with reassembly
 across a multi-shard set and an all-ranks restore additionally overlaps
 across ranks — while rank N's state is being rebuilt, rank N+1's parts are
-already being fetched and checksummed.  ``prefetch_depth=0`` disables the
-pipeline (strictly serial fetch -> validate -> deserialize).
+already being fetched and checksummed.  ``prefetch_depth=1`` disables the
+pipeline (strictly serial fetch -> validate -> deserialize);
+``prefetch_depth=0`` selects **auto mode**: the loader records per-part
+fetch and deserialize wall times and picks the depth from the measured
+overlap ratio (a fetch-bound restore gets a deeper pipeline, a
+deserialize-bound one stays shallow — see :func:`choose_prefetch_depth`).
 
 Validation and loading happen in one pass over each shard —
 ``restore(spec)`` with ``validate=True`` never reads a shard twice, and
@@ -40,6 +44,9 @@ completeness is still enforced).
 from __future__ import annotations
 
 import copy
+import math
+import threading
+import time
 import warnings
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -73,6 +80,37 @@ DEFAULT_RANGE_FETCH_BYTES = 8 * 1024 * 1024
 #: One logical shard to restore: a set key and the records of its parts.
 _SetItem = Tuple[Any, List[ShardRecord]]
 
+#: Deepest pipeline auto mode will pick, and how many of the most recent
+#: per-part timing samples it keeps (older restores stop steering new ones).
+MAX_AUTO_PREFETCH_DEPTH = 8
+_TIMING_WINDOW = 256
+
+
+def choose_prefetch_depth(fetch_seconds: Sequence[float],
+                          deserialize_seconds: Sequence[float],
+                          max_depth: int = MAX_AUTO_PREFETCH_DEPTH) -> int:
+    """Pick a prefetch depth from measured per-part timings (auto mode).
+
+    The pipeline overlaps fetch+validate of upcoming parts with the
+    deserialization of the current one, so the depth that keeps the consumer
+    fed is the fetch/deserialize time ratio: while one part deserializes,
+    about ``mean_fetch / mean_deserialize`` fetches must be in flight for the
+    next part to be ready on time (plus one part of slack for jitter).  A
+    fetch-bound restore (remote object store) gets a deep pipeline; a
+    deserialize-bound one (local mmap) stays at the minimum useful depth of
+    2.  With too few samples (< 3 of either kind) or degenerate timings the
+    default depth is returned — measuring must never make a cold restore
+    worse than the static default.
+    """
+    if len(fetch_seconds) < 3 or len(deserialize_seconds) < 3:
+        return DEFAULT_PREFETCH_DEPTH
+    mean_fetch = sum(fetch_seconds) / len(fetch_seconds)
+    mean_deserialize = sum(deserialize_seconds) / len(deserialize_seconds)
+    if mean_fetch <= 0 or mean_deserialize <= 0:
+        return DEFAULT_PREFETCH_DEPTH
+    depth = math.ceil(mean_fetch / mean_deserialize) + 1
+    return max(2, min(int(max_depth), depth))
+
 
 @dataclass(frozen=True)
 class CheckpointInfo:
@@ -105,6 +143,12 @@ class CheckpointLoader:
         if depth < 0:
             raise RestartError("prefetch_depth must be >= 0")
         self.prefetch_depth = depth
+        # Per-part timing samples feeding auto mode (prefetch_depth=0).
+        # Mutable containers, deliberately shared by _with_options clones so
+        # every restore through this loader trains the same estimate.
+        self._timing_lock = threading.Lock()
+        self._fetch_seconds: deque = deque(maxlen=_TIMING_WINDOW)
+        self._deserialize_seconds: deque = deque(maxlen=_TIMING_WINDOW)
         # Non-mmap fetches stream sub-shard ranges of at most this many bytes
         # on stores that support ranged reads (pread / object-store ranged
         # GETs); 0 disables ranged fetching (whole-shard reads only).
@@ -243,6 +287,14 @@ class CheckpointLoader:
             buffer.close()
 
     def _fetch_part(self, tag: str, record: ShardRecord, validate: bool):
+        """Fetch one shard part, recording its wall time for auto mode."""
+        started = time.perf_counter()
+        buffer = self._fetch_part_untimed(tag, record, validate)
+        with self._timing_lock:
+            self._fetch_seconds.append(time.perf_counter() - started)
+        return buffer
+
+    def _fetch_part_untimed(self, tag: str, record: ShardRecord, validate: bool):
         """Fetch one shard part (mmap or whole read) and optionally validate
         its size/CRC32; never leaks the mapping on a validation failure.
 
@@ -315,19 +367,21 @@ class CheckpointLoader:
         (because a fetch or the consumer failed) are closed here, so no mmap
         handle outlives an aborted restore.
 
-        With ``prefetch_depth`` 0/1 (or a single part) the pipeline degrades
-        to the strictly serial path with identical semantics.
+        With ``prefetch_depth`` 1 (or a single part) the pipeline degrades
+        to the strictly serial path with identical semantics; 0 resolves to
+        a measured depth (see :attr:`effective_prefetch_depth`).
         """
         parts = [(set_index, record)
                  for set_index, (_key, records) in enumerate(sets)
                  for record in records]
-        if self.prefetch_depth <= 1 or len(parts) <= 1:
+        resolved_depth = self.effective_prefetch_depth
+        if resolved_depth <= 1 or len(parts) <= 1:
             for key, records in sets:
                 buffers = self._fetch_set(tag, records, validate)
                 yield key, records, buffers
             return
 
-        depth = min(self.prefetch_depth, len(parts))
+        depth = min(resolved_depth, len(parts))
         pending: deque = deque()      # (set_index, future), submission order
         ready: Dict[int, List[Any]] = {}
         next_part = 0
@@ -336,7 +390,7 @@ class CheckpointLoader:
                                 thread_name_prefix="ckpt-prefetch") as pool:
             try:
                 while emitted < len(sets):
-                    while next_part < len(parts) and len(pending) < self.prefetch_depth:
+                    while next_part < len(parts) and len(pending) < resolved_depth:
                         set_index, record = parts[next_part]
                         pending.append(
                             (set_index,
@@ -365,6 +419,29 @@ class CheckpointLoader:
                     for buffer in buffers:
                         self._close_buffer(buffer)
                 raise
+
+    @property
+    def effective_prefetch_depth(self) -> int:
+        """The depth the next restore will run at.
+
+        A positive ``prefetch_depth`` is used as-is; 0 (auto) resolves from
+        the timing samples of earlier parts via
+        :func:`choose_prefetch_depth` — so the first restore of a session
+        starts at the default depth and later ones track the measured
+        fetch/deserialize overlap ratio.
+        """
+        if self.prefetch_depth > 0:
+            return self.prefetch_depth
+        with self._timing_lock:
+            fetch = list(self._fetch_seconds)
+            deserialize = list(self._deserialize_seconds)
+        return choose_prefetch_depth(fetch, deserialize)
+
+    def prefetch_timings(self) -> Dict[str, List[float]]:
+        """The per-part timing samples behind auto mode (newest last)."""
+        with self._timing_lock:
+            return {"fetch_seconds": list(self._fetch_seconds),
+                    "deserialize_seconds": list(self._deserialize_seconds)}
 
     def _fetch_set(self, tag: str, records: Sequence[ShardRecord],
                    validate: bool) -> List[Any]:
@@ -574,15 +651,23 @@ class CheckpointLoader:
         copy = self.materialize if self.use_mmap else True
         try:
             datas = [self._buffer_data(buffer) for buffer in buffers]
+            started = time.perf_counter()
             try:
                 if len(records) == 1 and not records[0].in_shard_set:
-                    return deserialize_state(datas[0], copy=copy)
-                return deserialize_rank_state(datas, copy=copy)
+                    state = deserialize_state(datas[0], copy=copy)
+                else:
+                    state = deserialize_rank_state(datas, copy=copy)
             except Exception as exc:
                 raise RestartError(
                     f"cannot deserialize shard "
                     f"{records[0].group or records[0].name!r} of {tag!r}: {exc}"
                 ) from exc
+            # Per-part deserialize cost for auto mode: the set is rebuilt as
+            # one unit, so the wall time is amortised over its parts.
+            per_part = (time.perf_counter() - started) / max(1, len(records))
+            with self._timing_lock:
+                self._deserialize_seconds.extend([per_part] * len(records))
+            return state
         finally:
             for buffer in buffers:
                 self._close_buffer(buffer)

@@ -315,3 +315,111 @@ def test_committed_checkpoints_survive_when_faults_stop(engine_name,
         f"recovery checkpoint missing [config seed {seed}]")
     np.testing.assert_array_equal(restored["model"]["w"], final["model"]["w"])
     np.testing.assert_array_equal(restored["optimizer"]["m"], final["optimizer"]["m"])
+
+
+# ---------------------------------------------------------------------------
+# Mid-chain faults: an interior level of a 3-level chain misbehaves
+# ---------------------------------------------------------------------------
+
+def _build_chain_store(plan: FaultPlan, tmp_path: Path):
+    """A 3-level chain whose INTERIOR level is fault-injected.
+
+    Level 0 (the commit tier) and the deepest level stay clean: every
+    failure below is a mid-chain failure — the drain crossing the faulty
+    level, restores falling through it, eviction deleting from it.
+    """
+    from repro.io import TierChain, TierLevel
+
+    faulty_mid = FaultyStore(FileStore(tmp_path / "mid"), plan)
+    store = TierChain([
+        TierLevel(FileStore(tmp_path / "fast"), name="fast"),
+        TierLevel(faulty_mid, name="mid"),
+        TierLevel(ObjectStore(), name="deep"),
+    ], keep_local_latest=None, drain_backoff_s=0.01)
+    return store, faulty_mid
+
+
+def test_chaos_mid_chain_transient_errors_are_retried(engine_name, tmp_path):
+    """Transient interior-level write errors are absorbed by the per-link
+    retry machinery: every checkpoint still replicates down the whole chain
+    and restores bit-exactly."""
+    seed = config_seed(engine_name, "chain3", "mid_transient")
+    plan = FaultPlan(seed=seed, write_error_prob=0.5, max_failures_per_op=1)
+    store, faulty_mid = _build_chain_store(plan, tmp_path)
+    expected = {}
+    with create_real_engine(engine_name, store,
+                            policy=CheckpointPolicy(host_buffer_size=8 << 20)) as engine:
+        for round_index in range(3):
+            tag = f"ckpt-{round_index:03d}"
+            expected[tag] = _state(seed=round_index)
+            engine.save(expected[tag], tag=tag, iteration=round_index)
+            engine.wait_all(timeout=30.0)
+        store.wait_drained(timeout=30.0)
+    for level in store.levels:
+        assert sorted(level.store.list_committed_checkpoints()) == sorted(expected)
+    loader = CheckpointLoader(store)
+    for tag, want in expected.items():
+        state = loader.restore(RestoreSpec.full(tag=tag))[0]
+        np.testing.assert_array_equal(state["model"]["w"], want["model"]["w"])
+        np.testing.assert_array_equal(state["optimizer"]["m"], want["optimizer"]["m"])
+
+
+def test_chaos_mid_chain_persistent_errors_fail_loudly(engine_name, tmp_path):
+    """A persistently failing interior level must surface through
+    ``wait_drained`` as CheckpointError — never hang, never silently claim
+    replication — while level 0 keeps serving bit-exact restores."""
+    seed = config_seed(engine_name, "chain3", "mid_persistent")
+    plan = FaultPlan(seed=seed, write_error_prob=1.0)
+    store, faulty_mid = _build_chain_store(plan, tmp_path)
+    want = _state(seed=1)
+    with create_real_engine(engine_name, store,
+                            policy=CheckpointPolicy(host_buffer_size=8 << 20)) as engine:
+        engine.save(want, tag="ckpt-1", iteration=1)
+        engine.wait_all(timeout=30.0)
+        with pytest.raises(CheckpointError):
+            store.wait_drained(timeout=30.0)
+    # The drain never crossed the faulty level: no manifest may exist there
+    # or deeper (manifest-last per link), and the chain reports the failure.
+    with faulty_mid.suspend():
+        assert faulty_mid.list_committed_checkpoints() == []
+    assert store.slow.list_committed_checkpoints() == []
+    assert store.drain_metrics()["failed_drains"] >= 1
+    state = CheckpointLoader(store).restore(RestoreSpec.full(tag="ckpt-1"))[0]
+    np.testing.assert_array_equal(state["model"]["w"], want["model"]["w"])
+
+
+def test_chaos_mid_chain_read_outage_falls_through(engine_name, tmp_path):
+    """With the interior level dark at restore time, reads fall through to
+    the deepest level and reassemble bit-exact state (after the shallow
+    copies are gone, the chain's restore path must skip the dark level, not
+    fail on it)."""
+    seed = config_seed(engine_name, "chain3", "mid_read_outage")
+    store, faulty_mid = _build_chain_store(FaultPlan(seed=seed), tmp_path)
+    want = _state(seed=2)
+    with create_real_engine(engine_name, store,
+                            policy=CheckpointPolicy(host_buffer_size=8 << 20)) as engine:
+        engine.save(want, tag="ckpt-1", iteration=1)
+        engine.wait_all(timeout=30.0)
+        store.wait_drained(timeout=30.0)
+    store.close()
+
+    # Node loss takes the fast tier; the interior level goes dark too.
+    import shutil
+    shutil.rmtree(tmp_path / "fast")
+    reopened, faulty_mid = None, FaultyStore(FileStore(tmp_path / "mid"),
+                                             FaultPlan(seed=seed,
+                                                       read_error_prob=1.0))
+    from repro.io import TierChain, TierLevel
+    reopened = TierChain([
+        TierLevel(FileStore(tmp_path / "fast"), name="fast"),
+        TierLevel(faulty_mid, name="mid"),
+        TierLevel(store.slow, name="deep"),
+    ], keep_local_latest=None, drain_backoff_s=0.01)
+    try:
+        state = CheckpointLoader(reopened).restore(
+            RestoreSpec.full(tag="ckpt-1"))[0]
+        np.testing.assert_array_equal(state["model"]["w"], want["model"]["w"])
+        np.testing.assert_array_equal(state["optimizer"]["m"],
+                                      want["optimizer"]["m"])
+    finally:
+        reopened.close()

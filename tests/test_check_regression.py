@@ -50,6 +50,12 @@ def _io_fastpath(scale=1.0, host=HOST):
                       "drained_seconds": 0.8 * scale},
             },
         },
+        "tier_chain_drain": {
+            "commit_seconds": 0.45 * scale,
+            "drained_seconds": 1.4 * scale,
+            "drain_wait_ms": 120.0 * scale,
+            "levels": 3,
+        },
         "dedup_incremental_sweep": {
             "full_save_seconds": 0.50 * scale,
             "incremental_save_seconds": 0.22 * scale,
@@ -120,9 +126,12 @@ def test_io_fastpath_regression_detected(tmp_path):
     assert any("flush.streaming_seconds" in p for p in problems)
     # The tiered store's training-visible commit latency is gated too ...
     assert any("tiered_drain_sweep[1].commit_seconds" in p for p in problems)
-    # ... but its background drain time is tracked, not gated, like
-    # restore/save_stall (single-shot real-disk metrics).
+    # ... and so is the capacity-bounded 3-level chain's commit latency ...
+    assert any("tier_chain_drain.commit_seconds" in p for p in problems)
+    # ... but its background drain time and backpressure stall are tracked,
+    # not gated, like restore/save_stall (single-shot real-disk metrics).
     assert not any("drained_seconds" in p for p in problems)
+    assert not any("drain_wait_ms" in p for p in problems)
     assert not any("restore" in p or "save_stall" in p for p in problems)
     # The CAS full/incremental save times are gated; the byte counters are
     # asserted inside the bench (deterministic) and never gated here.

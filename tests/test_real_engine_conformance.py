@@ -34,9 +34,15 @@ from repro.training import RealTrainer
 pytestmark = pytest.mark.parametrize("engine_name", ENGINE_NAMES)
 
 
-@pytest.fixture(params=STORE_NAMES)
+#: Registered backends plus a synthetic 3-level chain config: ``tiered3``
+#: exercises the N-level TierChain (file -> file -> object) through the
+#: exact same conformance contract as the canonical backends.
+CONFORMANCE_STORE_BACKENDS = list(STORE_NAMES) + ["tiered3"]
+
+
+@pytest.fixture(params=CONFORMANCE_STORE_BACKENDS)
 def store_backend(request):
-    """Every conformance test runs against both registered store backends."""
+    """Every conformance test runs against all registered store backends."""
     return request.param
 
 
@@ -55,7 +61,12 @@ def _state(seed=0, size=512):
 
 
 def _make_store(store_backend, tmp_path, name) -> ShardStore:
-    store = create_store(store_backend, root=tmp_path / name)
+    if store_backend == "tiered3":
+        store = create_store("tiered", root=tmp_path / name,
+                             tiers="nvme:file,pfs:file,object:object",
+                             drain_backoff_s=0.01)
+    else:
+        store = create_store(store_backend, root=tmp_path / name)
     assert isinstance(store, ShardStore)
     return store
 

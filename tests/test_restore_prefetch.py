@@ -225,3 +225,63 @@ def test_keep_latest_zero_deletes_every_checkpoint(tmp_path):
     assert loader.committed_checkpoints() == []
     # keep_latest only governs committed history; the torn dir is prune's job.
     assert store.list_checkpoints() == ["torn"]
+
+
+# ---------------------------------------------------------------------------
+# Auto prefetch depth (prefetch_depth=0)
+# ---------------------------------------------------------------------------
+
+def test_choose_prefetch_depth_tracks_fetch_deserialize_ratio():
+    from repro.config import DEFAULT_PREFETCH_DEPTH
+    from repro.restart import choose_prefetch_depth
+
+    # Fetch-bound (remote store): ~6x slower fetches want a deep pipeline.
+    assert choose_prefetch_depth([0.06] * 8, [0.01] * 8) == 7
+    # Deserialize-bound (local mmap): the minimum useful depth of 2.
+    assert choose_prefetch_depth([0.001] * 8, [0.02] * 8) == 2
+    # Balanced: one in flight plus one of slack.
+    assert choose_prefetch_depth([0.01] * 8, [0.01] * 8) == 2
+    # Extreme ratios clamp at the pipeline cap.
+    assert choose_prefetch_depth([1.0] * 8, [0.001] * 8) == 8
+    assert choose_prefetch_depth([1.0] * 8, [0.001] * 8, max_depth=5) == 5
+    # Too few samples (cold restore) or degenerate timings: the static
+    # default — measuring must never make the first restore worse.
+    assert choose_prefetch_depth([], []) == DEFAULT_PREFETCH_DEPTH
+    assert choose_prefetch_depth([0.01] * 2, [0.01] * 8) == DEFAULT_PREFETCH_DEPTH
+    assert choose_prefetch_depth([0.0] * 8, [0.0] * 8) == DEFAULT_PREFETCH_DEPTH
+
+
+def test_auto_mode_starts_at_default_then_adapts(tmp_path):
+    from repro.config import DEFAULT_PREFETCH_DEPTH
+
+    store = FileStore(tmp_path)
+    _commit(store, _state(seed=3), shards_per_rank=4)
+    loader = CheckpointLoader(store, prefetch_depth=0)
+    # Cold: no samples yet, so auto resolves to the static default.
+    assert loader.effective_prefetch_depth == DEFAULT_PREFETCH_DEPTH
+
+    restored = loader.restore(RestoreSpec.full(tag="ckpt"))
+    want = _state(seed=3)
+    for key, value in want["model"].items():
+        np.testing.assert_array_equal(restored[0]["model"][key], value)
+
+    # The restore populated both timing windows; auto now resolves from
+    # them and stays within the pipeline's [2, cap] band.
+    timings = loader.prefetch_timings()
+    assert len(timings["fetch_seconds"]) >= 4
+    assert len(timings["deserialize_seconds"]) >= 4
+    from repro.restart.loader import MAX_AUTO_PREFETCH_DEPTH
+    assert 2 <= loader.effective_prefetch_depth <= MAX_AUTO_PREFETCH_DEPTH
+
+
+def test_auto_mode_timings_shared_across_restore_spec_options(tmp_path):
+    """RestoreSpec-driven loader clones (validate=False etc.) keep feeding
+    the same timing windows, so the session's measurements accumulate."""
+    store = FileStore(tmp_path)
+    _commit(store, _state(seed=5), shards_per_rank=3)
+    loader = CheckpointLoader(store, prefetch_depth=0)
+    loader.restore(RestoreSpec.full(tag="ckpt"))
+    first = len(loader.prefetch_timings()["fetch_seconds"])
+    assert first > 0
+    loader.restore(RestoreSpec.full(tag="ckpt", validate=False))
+    assert len(loader.prefetch_timings()["fetch_seconds"]) > first
